@@ -1,0 +1,21 @@
+"""Benchmark configuration: results are also written to ``results/``.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each benchmark drives
+the corresponding experiment harness once under timing and saves the
+paper-style table next to the timing data, so regenerating every figure
+is a single command.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a rendered experiment table under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

@@ -1,0 +1,34 @@
+"""Bench: ablations of DESIGN.md's called-out design choices."""
+
+from benchmarks.conftest import save_result
+from repro.eval import ablations
+
+
+def test_scale_down_ablation(benchmark):
+    rows = benchmark.pedantic(
+        ablations.run_scale_down_ablation, rounds=1, iterations=1
+    )
+    text = ablations.render_scale_down(rows)
+    save_result("ablation_scale_down", text)
+    # The single CRB pass must win, increasingly so at high R.
+    assert all(r.saving > 1.0 for r in rows)
+    assert rows[-1].saving >= rows[0].saving * 0.9
+
+
+def test_digits_ablation(benchmark):
+    rows = benchmark.pedantic(ablations.run_digits_ablation, rounds=1,
+                              iterations=1)
+    text = ablations.render_digits(rows)
+    save_result("ablation_ks_digits", text)
+    assert len(rows) == 2
+
+
+def test_tolerance_ablation(benchmark):
+    rows = benchmark.pedantic(
+        ablations.run_tolerance_ablation, rounds=1, iterations=1
+    )
+    text = ablations.render_tolerance(rows)
+    save_result("ablation_tolerance_window", text)
+    # Looser windows never *increase* the residue count.
+    counts = [r.top_residues for r in rows]
+    assert counts == sorted(counts, reverse=True) or max(counts) - min(counts) <= 1

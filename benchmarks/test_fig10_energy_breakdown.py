@@ -1,0 +1,13 @@
+"""Bench: Fig. 10 — hmul energy breakdown vs residue count."""
+
+from benchmarks.conftest import save_result
+from repro.eval import fig10
+
+
+def test_fig10_energy_breakdown(benchmark):
+    rows = benchmark(fig10.run)
+    text = fig10.render(rows)
+    save_result("fig10_energy_breakdown", text)
+    assert 1.1 < fig10.growth_exponent(rows) < 1.9
+    top = rows[-1]
+    assert top.crb_mj >= max(top.ntt_mj, top.rf_mj, top.elementwise_mj)

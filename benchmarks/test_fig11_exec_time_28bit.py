@@ -1,0 +1,14 @@
+"""Bench: Fig. 11 — execution time, 28-bit CraterLake, all workloads."""
+
+from benchmarks.conftest import save_result
+from repro.eval import fig11
+from repro.eval.common import gmean
+
+
+def test_fig11_exec_time_28bit(benchmark):
+    rows = benchmark.pedantic(fig11.run, rounds=1, iterations=1)
+    text = fig11.render(rows)
+    save_result("fig11_exec_time_28bit", text)
+    g = gmean(r.ratio for r in rows)
+    assert all(r.ratio > 1.0 for r in rows)  # BitPacker wins everywhere
+    assert 1.2 < g < 2.0  # paper: 1.59

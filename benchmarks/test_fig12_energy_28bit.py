@@ -1,0 +1,14 @@
+"""Bench: Fig. 12 — energy with level-management split, 28-bit machine."""
+
+from benchmarks.conftest import save_result
+from repro.eval import fig12
+from repro.eval.common import gmean
+
+
+def test_fig12_energy_28bit(benchmark):
+    rows = benchmark.pedantic(fig12.run, rounds=1, iterations=1)
+    text = fig12.render(rows)
+    save_result("fig12_energy_28bit", text)
+    assert all(r.energy_ratio > 1.0 for r in rows)
+    assert all(r.bp_level_mgmt_fraction < 0.15 for r in rows)
+    assert 1.5 < gmean(r.edp_ratio for r in rows) < 3.5  # paper: 2.53x

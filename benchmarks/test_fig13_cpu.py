@@ -1,0 +1,13 @@
+"""Bench: Fig. 13 — CPU execution time at 64-bit words."""
+
+from benchmarks.conftest import save_result
+from repro.eval import fig13
+from repro.eval.common import gmean
+
+
+def test_fig13_cpu(benchmark):
+    rows = benchmark.pedantic(fig13.run, rounds=1, iterations=1)
+    text = fig13.render(rows)
+    save_result("fig13_cpu", text)
+    g = gmean(r.ratio for r in rows)
+    assert 1.05 < g < 1.6  # paper: 1.24 — far below the accelerator gain

@@ -1,0 +1,13 @@
+"""Bench: Fig. 14 — execution time vs word size, per application."""
+
+from benchmarks.conftest import save_result
+from repro.eval import fig14
+
+
+def test_fig14_word_size_sweep(benchmark):
+    series = benchmark.pedantic(fig14.run, rounds=1, iterations=1)
+    text = fig14.render(series)
+    save_result("fig14_word_size_sweep", text)
+    for s in series:
+        assert s.bp_flatness < 1.3  # BitPacker flat across word sizes
+        assert s.rns_unevenness > 1.15  # RNS-CKKS peaks and valleys

@@ -1,0 +1,14 @@
+"""Bench: Fig. 15 — gmean/max/min RNS-CKKS slowdown across word sizes."""
+
+from benchmarks.conftest import save_result
+from repro.eval import fig15
+
+
+def test_fig15_slowdown(benchmark):
+    rows = benchmark.pedantic(fig15.run, rounds=1, iterations=1)
+    text = fig15.render(rows)
+    save_result("fig15_slowdown", text)
+    assert all(r.gmean_slowdown > 1.0 for r in rows)
+    at28 = next(r for r in rows if r.word_bits == 28)
+    at64 = next(r for r in rows if r.word_bits == 64)
+    assert at64.gmean_slowdown > at28.gmean_slowdown * 0.95

@@ -1,0 +1,15 @@
+"""Bench: Fig. 16 — gmean execution time x area across word sizes."""
+
+from benchmarks.conftest import save_result
+from repro.eval import fig16
+
+
+def test_fig16_perf_per_area(benchmark):
+    rows = benchmark.pedantic(fig16.run, rounds=1, iterations=1)
+    text = fig16.render(rows)
+    save_result("fig16_perf_per_area", text)
+    # 28-bit BitPacker is the most efficient design point (paper Sec. 6.2).
+    best = min(rows, key=lambda r: r.bitpacker_norm)
+    assert best.word_bits == 28
+    at64 = next(r for r in rows if r.word_bits == 64)
+    assert at64.rns_ckks_norm > 1.5  # paper: ~2.5x

@@ -1,0 +1,14 @@
+"""Bench: Fig. 17 — gmean execution time vs register-file capacity."""
+
+from benchmarks.conftest import save_result
+from repro.eval import fig17
+
+
+def test_fig17_scratchpad_sweep(benchmark):
+    rows = benchmark.pedantic(fig17.run, rounds=1, iterations=1)
+    text = fig17.render(rows)
+    save_result("fig17_scratchpad_sweep", text)
+    by_mb = {r.register_file_mb: r for r in rows}
+    assert by_mb[200.0].bitpacker_norm < 1.25  # BP ~flat down to 200 MB
+    assert by_mb[150.0].rns_ckks_norm > 2.0  # RNS-CKKS >3x in the paper
+    assert by_mb[150.0].rns_ckks_norm > by_mb[150.0].bitpacker_norm

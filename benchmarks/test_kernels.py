@@ -1,0 +1,137 @@
+"""Kernel microbenchmarks: wall-clock of the functional engine's hot loops.
+
+These time the actual Python/numpy arithmetic (NTT, base conversion,
+scale-down, keyswitch-bearing multiply) at a realistic test size, so
+regressions in the exact-arithmetic substrate show up here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext
+from repro.nt import modmath
+from repro.nt.ntt import ntt_context
+from repro.nt.primes import ntt_friendly_primes_below
+from repro.rns.basis import RnsBasis
+from repro.rns.convert import base_convert, scale_down, scale_up
+from repro.rns.poly import RnsPolynomial
+from repro.schemes import plan_bitpacker_chain
+
+N = 2048
+
+
+@pytest.fixture(scope="module")
+def basis():
+    moduli = []
+    gen = ntt_friendly_primes_below(1 << 28, N)
+    for _ in range(8):
+        moduli.append(next(gen))
+    return RnsBasis(N, moduli)
+
+
+@pytest.fixture(scope="module")
+def poly(basis):
+    rng = np.random.default_rng(0)
+    coeffs = [int(v) for v in rng.integers(-(10**6), 10**6, N)]
+    return RnsPolynomial.from_int_coeffs(basis, coeffs)
+
+
+def test_ntt_forward(benchmark, basis):
+    rng = np.random.default_rng(1)
+    q = basis.moduli[0]
+    ctx = ntt_context(q, N)
+    row = modmath.uniform_mod(q, N, rng)
+    benchmark(ctx.forward, row)
+
+
+def test_ntt_roundtrip(benchmark, basis):
+    rng = np.random.default_rng(2)
+    q = basis.moduli[0]
+    ctx = ntt_context(q, N)
+    row = modmath.uniform_mod(q, N, rng)
+    benchmark(lambda: ctx.inverse(ctx.forward(row)))
+
+
+def test_base_convert(benchmark, basis, poly):
+    dst = []
+    gen = ntt_friendly_primes_below(1 << 26, N)
+    while len(dst) < 4:
+        p = next(gen)
+        if not basis.contains(p):
+            dst.append(p)
+    benchmark(base_convert, poly, tuple(dst))
+
+
+def test_scale_down_multi_modulus(benchmark, basis, poly):
+    shed = list(basis.moduli[-2:])
+    benchmark(scale_down, poly, shed)
+
+
+def test_scale_up(benchmark, basis, poly):
+    extra = []
+    gen = ntt_friendly_primes_below(1 << 25, N)
+    while len(extra) < 2:
+        p = next(gen)
+        if not basis.contains(p):
+            extra.append(p)
+    benchmark(scale_up, poly, tuple(extra))
+
+
+@pytest.fixture(scope="module")
+def small_ctx():
+    chain = plan_bitpacker_chain(
+        n=512, word_bits=28, level_scale_bits=35.0, levels=4,
+        base_bits=50.0, ks_digits=2,
+    )
+    return CkksContext(chain, seed=9)
+
+
+def test_homomorphic_multiply(benchmark, small_ctx):
+    rng = np.random.default_rng(3)
+    vals = rng.uniform(-1, 1, small_ctx.slots)
+    a = small_ctx.encrypt(vals)
+    b = small_ctx.encrypt(vals)
+    benchmark.pedantic(
+        small_ctx.evaluator.multiply_rescale, args=(a, b), rounds=3, iterations=1
+    )
+
+
+def test_homomorphic_rotate(benchmark, small_ctx):
+    rng = np.random.default_rng(4)
+    vals = rng.uniform(-1, 1, small_ctx.slots)
+    ct = small_ctx.encrypt(vals)
+    small_ctx.evaluator.rotate(ct, 1)  # warm the galois key cache
+    benchmark.pedantic(
+        small_ctx.evaluator.rotate, args=(ct, 1), rounds=3, iterations=1
+    )
+
+
+def test_bp_rescale(benchmark, small_ctx):
+    rng = np.random.default_rng(5)
+    vals = rng.uniform(-1, 1, small_ctx.slots)
+    sq = small_ctx.evaluator.square(small_ctx.encrypt(vals))
+    benchmark.pedantic(small_ctx.chain.rescale, args=(sq,), rounds=3, iterations=1)
+
+
+def test_bp_adjust(benchmark, small_ctx):
+    rng = np.random.default_rng(6)
+    vals = rng.uniform(-1, 1, small_ctx.slots)
+    ct = small_ctx.encrypt(vals)
+    benchmark.pedantic(
+        small_ctx.chain.adjust, args=(ct, ct.level - 1), rounds=3, iterations=1
+    )
+
+
+def test_chain_planning(benchmark):
+    def plan():
+        from repro.schemes.bitpacker import plan_bitpacker_chain as planner
+
+        return planner(
+            n=65536, word_bits=28, level_scale_bits=40.0, levels=20,
+            base_bits=60.0, ks_digits=3,
+        )
+
+    chain = benchmark.pedantic(plan, rounds=1, iterations=1)
+    # Paper Sec. 3.3: selection completes in under a second; allow slack
+    # for the pure-Python implementation by asserting only correctness.
+    assert chain.max_level == 20

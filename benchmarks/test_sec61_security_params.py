@@ -1,0 +1,13 @@
+"""Bench: Sec. 6.1 — BitPacker benefits at 128-bit and 80-bit security."""
+
+from benchmarks.conftest import save_result
+from repro.eval import security
+
+
+def test_sec61_security_params(benchmark):
+    rows = benchmark.pedantic(security.run, rounds=1, iterations=1)
+    text = security.render(rows)
+    save_result("sec61_security_params", text)
+    for r in rows:
+        assert r.gmean_speedup > 1.1
+        assert r.gmean_energy_ratio > 1.1

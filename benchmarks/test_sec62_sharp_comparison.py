@@ -1,0 +1,13 @@
+"""Bench: Sec. 6.2 — 28-bit BitPacker vs 36-bit SHARP-like RNS design."""
+
+from benchmarks.conftest import save_result
+from repro.eval import sharp
+from repro.eval.common import gmean
+
+
+def test_sec62_sharp_comparison(benchmark):
+    rows = benchmark.pedantic(sharp.run, rounds=1, iterations=1)
+    text = sharp.render(rows)
+    save_result("sec62_sharp_comparison", text)
+    assert gmean(r.speedup for r in rows) > 1.2  # paper: 1.43x
+    assert gmean(r.edp_ratio for r in rows) > 1.5  # paper: 2.2x

@@ -1,0 +1,13 @@
+"""Bench: Sec. 6.3 — area reduction with no BitPacker performance loss."""
+
+from benchmarks.conftest import save_result
+from repro.eval import area_reduction
+
+
+def test_sec63_area_reduction(benchmark):
+    result = benchmark.pedantic(area_reduction.run, rounds=1, iterations=1)
+    text = area_reduction.render(result)
+    save_result("sec63_area_reduction", text)
+    assert result.paper_point.area_mm2 < result.baseline_area_mm2
+    assert result.no_loss_point.perf_regression < 1.03
+    assert result.no_loss_point.edap_improvement > 1.5

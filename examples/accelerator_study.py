@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Accelerator design-space study: reproduce the paper's headline sweeps.
+
+Prices the five benchmark workloads (x two bootstrap algorithms) through
+the CraterLake-class machine model at several word sizes and register-file
+capacities, printing the paper-style tables for Figs. 11, 14 (condensed),
+and 17.  Everything runs from the analytic model - no FHE arithmetic -
+so the full study takes seconds.
+
+Run:  python examples/accelerator_study.py
+"""
+
+from repro.eval import fig11, fig14, fig15, fig17
+
+
+def main() -> None:
+    print(fig11.render(fig11.run()))
+    print()
+
+    word_sizes = (28, 36, 44, 52, 60, 64)
+    series = fig14.run(word_sizes=word_sizes)
+    print("Fig. 14 (condensed) — BitPacker is flat, RNS-CKKS is uneven:")
+    for s in series[:3]:
+        bp = " ".join(f"{v:7.1f}" for v in s.bitpacker_ms)
+        rns = " ".join(f"{v:7.1f}" for v in s.rns_ckks_ms)
+        print(f"  {s.label}")
+        print(f"    words : {' '.join(f'{w:7d}' for w in s.word_sizes)}")
+        print(f"    BP ms : {bp}   (max/min {s.bp_flatness:.2f})")
+        print(f"    RNS ms: {rns}   (max/min {s.rns_unevenness:.2f})")
+    print()
+
+    print(fig15.render(fig15.run(word_sizes=word_sizes)))
+    print()
+    print(fig17.render(fig17.run()))
+
+
+if __name__ == "__main__":
+    main()

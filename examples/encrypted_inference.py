@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Encrypted logistic-regression inference (a LogReg/HELR-style workload).
+
+Evaluates ``sigmoid(w . x + b)`` on an encrypted feature vector:
+
+1. elementwise plaintext multiply by the weights,
+2. a rotate-and-add tree to sum the products into every slot,
+3. a degree-3 polynomial sigmoid approximation (the same one HELR uses),
+
+all under a BitPacker chain at the paper's 35-bit LogReg scale.  The
+decrypted score is compared against the cleartext computation.
+
+Run:  python examples/encrypted_inference.py
+"""
+
+import numpy as np
+
+from repro import CkksContext, plan_bitpacker_chain
+
+FEATURES = 64  # packed into the first 64 slots
+SIGMOID_C1, SIGMOID_C3 = 0.25, -1.0 / 48.0  # degree-3 minimax-ish approx
+
+
+def sigmoid_poly(t: np.ndarray) -> np.ndarray:
+    return 0.5 + SIGMOID_C1 * t + SIGMOID_C3 * t**3
+
+
+def encrypted_score(ctx: CkksContext, ct, weights, bias):
+    """sigmoid(w.x + b) on ciphertext ``ct`` holding the features."""
+    ev = ctx.evaluator
+
+    # 1. elementwise w * x at the LogReg scale, then rescale.
+    prod = ev.rescale(ev.mul_plain(ct, weights))
+
+    # 2. rotate-and-add reduction: after log2(FEATURES) rounds every slot
+    #    holds the full dot product.
+    acc = prod
+    shift = 1
+    while shift < FEATURES:
+        acc = ev.add(acc, ev.rotate(acc, shift))
+        shift *= 2
+    t = ev.add_plain(acc, bias)
+
+    # 3. degree-3 sigmoid via Horner: ((c3 * t) * t) * t + c1 * t + 0.5.
+    t2 = ev.square_rescale(t)
+    c3t = ev.rescale(ev.mul_plain(t, SIGMOID_C3))
+    c3t = ev.adjust(c3t, t2.level)
+    cubic = ev.multiply_rescale(t2, c3t)
+    linear = ev.rescale(ev.mul_plain(t, SIGMOID_C1))
+    linear = ev.adjust(linear, cubic.level)
+    out = ev.add(cubic, linear)
+    return ev.add_plain(out, 0.5)
+
+
+def main() -> None:
+    chain = plan_bitpacker_chain(
+        n=1024, word_bits=28, level_scale_bits=35.0, levels=6,
+        base_bits=60.0, ks_digits=2,
+    )
+    ctx = CkksContext(chain, seed=3)
+
+    rng = np.random.default_rng(1)
+    features = rng.uniform(-1, 1, FEATURES)
+    weights = rng.uniform(-0.2, 0.2, FEATURES)
+    bias = 0.1
+
+    packed = np.zeros(ctx.slots)
+    packed[:FEATURES] = features
+    w_packed = np.zeros(ctx.slots)
+    w_packed[:FEATURES] = weights
+
+    ct = ctx.encrypt(packed)
+    score_ct = encrypted_score(ctx, ct, w_packed, bias)
+    got = float(ctx.decrypt_real(score_ct)[0])
+
+    t = float(weights @ features + bias)
+    want = float(sigmoid_poly(np.array([t]))[0])
+
+    print(f"encrypted sigmoid(w.x + b) = {got:.6f}")
+    print(f"cleartext  sigmoid(w.x + b) = {want:.6f}")
+    print(f"|error| = {abs(got - want):.2e} "
+          f"({-np.log2(max(abs(got - want), 1e-18)):.1f} error-free bits)")
+    print(f"levels used: {chain.max_level - score_ct.level} of {chain.max_level}")
+
+
+if __name__ == "__main__":
+    main()

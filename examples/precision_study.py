@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Precision study: BitPacker does not trade accuracy for packing.
+
+Runs the paper's Sec. 6.5 methodology on the functional CKKS engine:
+square+rescale and one-level adjust at several scales, under 28-bit
+BitPacker and (effectively) 64-bit RNS-CKKS, and prints the
+box-and-whisker statistics of error-free mantissa bits (Figs. 18-19).
+
+Takes a couple of minutes (real encrypted arithmetic).
+
+Run:  python examples/precision_study.py [--fast]
+"""
+
+import sys
+
+from repro.eval import fig18, fig19
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    scales = (30.0, 40.0) if fast else (30.0, 40.0, 50.0, 60.0)
+    samples = 6 if fast else 20
+    n = 512 if fast else 2048
+
+    print(fig18.render(fig18.run(scales=scales, samples=samples, n=n)))
+    print()
+    print(fig19.render(fig19.run(scales=scales, samples=samples, n=n)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""BitPacker (ASPLOS 2024) reproduction.
+
+A from-scratch Python implementation of the paper's full stack:
+
+- :mod:`repro.nt`, :mod:`repro.rns` — exact number-theory and RNS
+  substrates (NTT, base conversion, scale-up/scale-down).
+- :mod:`repro.ckks` — a functional CKKS library (encoding, encryption,
+  homomorphic evaluation with hybrid keyswitching).
+- :mod:`repro.schemes` — the two level-management schemes under
+  comparison: baseline RNS-CKKS and BitPacker.
+- :mod:`repro.accel` — a CraterLake-class accelerator performance,
+  energy, and area model with word-size sweeps.
+- :mod:`repro.cpu` — a CPU cost model (paper Fig. 13).
+- :mod:`repro.workloads` — the five benchmark applications as
+  homomorphic-operation trace generators plus bootstrap op models.
+- :mod:`repro.eval` — one harness per paper figure/table.
+"""
+
+from repro.ckks import CkksContext
+from repro.ckks.bootstrap import BS19, BS26, FunctionalBootstrapper
+from repro.schemes import (
+    BitPackerChain,
+    ModulusChain,
+    RnsCkksChain,
+    plan_bitpacker_chain,
+    plan_chain,
+    plan_rns_ckks_chain,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CkksContext",
+    "BS19",
+    "BS26",
+    "FunctionalBootstrapper",
+    "ModulusChain",
+    "RnsCkksChain",
+    "BitPackerChain",
+    "plan_rns_ckks_chain",
+    "plan_bitpacker_chain",
+    "plan_chain",
+    "__version__",
+]

@@ -1,0 +1,98 @@
+"""Area model, calibrated to the two published CraterLake points.
+
+The paper reports 472.3 mm² for the 28-bit design and 557 mm² for the
+iso-throughput 64-bit variant in the same 14/12 nm process (Sec. 6.2),
+with the register file taking ~40% of die area and multipliers ~70% of
+functional-unit area (Sec. 4.1).  Under iso-throughput scaling (lanes ∝
+1/w, per-lane multiplier area ∝ w²) the multiplier-dominated share of FU
+area grows linearly in w; fitting the two anchors pins that share.
+
+Sec. 6.3's area-reduction experiment additionally needs the CRB's area
+share, which we take from CraterLake's published FU breakdown (the CRB
+is the largest FU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.config import BASE_WORD_BITS, AcceleratorConfig
+
+#: Published anchors (mm², 14/12 nm).
+CRATERLAKE_AREA_28 = 472.3
+CRATERLAKE_AREA_64 = 557.0
+
+#: Component shares of the 28-bit die (paper Sec. 4.1 / CraterLake).
+RF_SHARE = 0.40
+FU_SHARE = 0.50
+OTHER_SHARE = 0.10
+
+#: CRB share of functional-unit area (CraterLake's largest FU).
+CRB_SHARE_OF_FU = 0.46
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Die area as a function of word size, RF capacity, and CRB depth."""
+
+    base_area_mm2: float = CRATERLAKE_AREA_28
+    rf_share: float = RF_SHARE
+    fu_share: float = FU_SHARE
+    base_rf_mb: float = 256.0
+
+    @property
+    def rf_area_base(self) -> float:
+        return self.base_area_mm2 * self.rf_share
+
+    @property
+    def fu_area_base(self) -> float:
+        return self.base_area_mm2 * self.fu_share
+
+    @property
+    def other_area(self) -> float:
+        return self.base_area_mm2 * (1.0 - self.rf_share - self.fu_share)
+
+    @property
+    def _fu_word_scaled_fraction(self) -> float:
+        """Fraction of FU area that grows ∝ w under iso-throughput scaling.
+
+        Solved from the two published anchors:
+        ``area(64) - area(28) = fu_base * κ * (64/28 - 1)``.
+        """
+        delta = CRATERLAKE_AREA_64 - CRATERLAKE_AREA_28
+        return delta / (self.fu_area_base * (64.0 / BASE_WORD_BITS - 1.0))
+
+    def fu_area(self, word_bits: int, crb_macs_scale: float = 1.0) -> float:
+        """FU area at a word size; ``crb_macs_scale`` shrinks the CRB
+        relative to its iso-throughput baseline (Sec. 6.3)."""
+        kappa = self._fu_word_scaled_fraction
+        scaled = self.fu_area_base * (
+            (1.0 - kappa) + kappa * word_bits / BASE_WORD_BITS
+        )
+        if crb_macs_scale != 1.0:
+            crb_area = scaled * CRB_SHARE_OF_FU
+            scaled = scaled - crb_area * (1.0 - crb_macs_scale)
+        return scaled
+
+    def rf_area(self, megabytes: float) -> float:
+        return self.rf_area_base * megabytes / self.base_rf_mb
+
+    def total_area(self, config: AcceleratorConfig) -> float:
+        """Die area (mm²) of a configuration.
+
+        The CRB shrink factor is inferred from the configuration's MAC
+        depth relative to the iso-throughput baseline at its word size.
+        """
+        baseline_macs = max(
+            1.0, 56.0 * BASE_WORD_BITS / config.word_bits
+        )
+        crb_scale = min(1.0, config.crb_macs_per_lane / baseline_macs)
+        return (
+            self.rf_area(config.register_file_mb)
+            + self.other_area
+            + self.fu_area(config.word_bits, crb_scale)
+        )
+
+
+#: The calibrated model used by every experiment.
+DEFAULT_AREA_MODEL = AreaModel()

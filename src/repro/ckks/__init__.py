@@ -1,0 +1,56 @@
+"""Functional CKKS implementation (encode, encrypt, evaluate, decrypt).
+
+Layered on the RNS substrate, this package implements the full CKKS
+scheme the paper builds on: the canonical-embedding encoder, RLWE key
+material with hybrid keyswitching, the homomorphic evaluator, and a
+documented functional substitute for bootstrapping.  Level management
+(rescale/adjust) is delegated to a :mod:`repro.schemes` modulus chain, so
+the same evaluator runs both RNS-CKKS and BitPacker.
+"""
+
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.context import CkksContext
+from repro.ckks.encoder import CkksEncoder, encoder_for
+from repro.ckks.encryptor import Decryptor, Encryptor
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.evalmod import EvalModConfig, eval_mod
+from repro.ckks.homdft import coeff_to_slot, slot_to_coeff
+from repro.ckks.bootstrap_pipeline import (
+    PipelineConfig,
+    bootstrap_homomorphic,
+    mod_raise,
+)
+from repro.ckks.keys import KeyChest, KeySwitchKey, PublicKey, SecretKey
+from repro.ckks.linalg import PlainMatrix, inner_product_plain, matvec, sum_slots
+from repro.ckks.noise import NoiseEstimate, NoiseModel
+from repro.ckks.polyeval import eval_chebyshev, eval_power_basis
+
+__all__ = [
+    "Ciphertext",
+    "Plaintext",
+    "CkksContext",
+    "CkksEncoder",
+    "encoder_for",
+    "Encryptor",
+    "Decryptor",
+    "Evaluator",
+    "EvalModConfig",
+    "eval_mod",
+    "coeff_to_slot",
+    "slot_to_coeff",
+    "PipelineConfig",
+    "bootstrap_homomorphic",
+    "mod_raise",
+    "KeyChest",
+    "KeySwitchKey",
+    "PublicKey",
+    "SecretKey",
+    "PlainMatrix",
+    "matvec",
+    "inner_product_plain",
+    "sum_slots",
+    "NoiseModel",
+    "NoiseEstimate",
+    "eval_power_basis",
+    "eval_chebyshev",
+]

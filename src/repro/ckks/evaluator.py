@@ -1,0 +1,232 @@
+"""Homomorphic evaluation: add, multiply, rotate, and level management.
+
+The evaluator is deliberately *scheme-agnostic*: rescale and adjust are
+delegated to the modulus chain (RNS-CKKS or BitPacker), which is exactly
+the paper's claim that BitPacker changes only level management while "all
+other operations are exactly the same as in RNS-CKKS" (Sec. 3.1).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.encoder import CkksEncoder
+from repro.ckks.keys import KeyChest, KeySwitchKey
+from repro.errors import ParameterError, ScaleMismatchError
+from repro.rns.convert import base_convert, scale_down
+from repro.rns.poly import NTT, RnsPolynomial
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.schemes.chain import ModulusChain
+
+#: Two scales are considered addable when they differ by less than this
+#: relative amount.  Adjust's rounded constant (Listings 2/6) leaves
+#: scales within ~2^-(scale_bits+1) of canonical, so ciphertexts that
+#: took different adjust paths to the same level differ by up to ~2^-29
+#: at 30-bit scales; the tolerance admits that while still rejecting any
+#: real mismatch.  The value error folded in (< 2^-24 relative) is far
+#: below the rescale rounding floor at every scale the paper uses.
+SCALE_RTOL = Fraction(1, 1 << 24)
+
+
+class Evaluator:
+    """Homomorphic operations over one modulus chain."""
+
+    def __init__(self, chain: "ModulusChain", chest: KeyChest, encoder: CkksEncoder):
+        self.chain = chain
+        self.chest = chest
+        self.encoder = encoder
+
+    # ------------------------------------------------------------------
+    # Additive operations
+    # ------------------------------------------------------------------
+    def _check_addable(self, a: Ciphertext, b: Ciphertext) -> None:
+        if a.level != b.level:
+            raise ScaleMismatchError(
+                f"cannot add ciphertexts at levels {a.level} and {b.level}; "
+                "adjust one of them first"
+            )
+        if a.scale != b.scale:
+            ratio = a.scale / b.scale
+            if abs(ratio - 1) > SCALE_RTOL:
+                raise ScaleMismatchError(
+                    f"scales differ beyond tolerance: {float(a.scale):.6g} vs "
+                    f"{float(b.scale):.6g}"
+                )
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self._check_addable(a, b)
+        return Ciphertext(
+            c0=a.c0.add(b.c0), c1=a.c1.add(b.c1), level=a.level, scale=a.scale
+        )
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self._check_addable(a, b)
+        return Ciphertext(
+            c0=a.c0.sub(b.c0), c1=a.c1.sub(b.c1), level=a.level, scale=a.scale
+        )
+
+    def negate(self, ct: Ciphertext) -> Ciphertext:
+        return ct.with_polys(ct.c0.neg(), ct.c1.neg())
+
+    def add_plain(self, ct: Ciphertext, values) -> Ciphertext:
+        """Add an unencrypted vector (encoded at the ciphertext's scale)."""
+        coeffs = self.encoder.encode(values, ct.scale)
+        pt_poly = RnsPolynomial.from_int_coeffs(ct.basis, coeffs)
+        if ct.c0.domain == NTT:
+            pt_poly = pt_poly.to_ntt()
+        return ct.with_polys(ct.c0.add(pt_poly), ct.c1)
+
+    def sub_plain(self, ct: Ciphertext, values) -> Ciphertext:
+        coeffs = self.encoder.encode(values, ct.scale)
+        pt_poly = RnsPolynomial.from_int_coeffs(ct.basis, coeffs)
+        if ct.c0.domain == NTT:
+            pt_poly = pt_poly.to_ntt()
+        return ct.with_polys(ct.c0.sub(pt_poly), ct.c1)
+
+    # ------------------------------------------------------------------
+    # Scalar (integer-constant) operations
+    # ------------------------------------------------------------------
+    def mul_integer(self, ct: Ciphertext, k: int) -> Ciphertext:
+        """Multiply the encrypted *values* by integer ``k`` (scale kept)."""
+        return ct.with_polys(ct.c0.scalar_mul(k), ct.c1.scalar_mul(k))
+
+    def scale_const(self, ct: Ciphertext, k: int) -> Ciphertext:
+        """The paper's ``mulConst`` bookkeeping: coefficients and scale
+        are both multiplied by ``k``, leaving the encrypted values
+        unchanged.  This is the building block of ``adjust`` (Listings 2
+        and 6)."""
+        if k <= 0:
+            raise ParameterError(f"scale constant must be positive, got {k}")
+        return Ciphertext(
+            c0=ct.c0.scalar_mul(k),
+            c1=ct.c1.scalar_mul(k),
+            level=ct.level,
+            scale=ct.scale * k,
+        )
+
+    # ------------------------------------------------------------------
+    # Multiplicative operations
+    # ------------------------------------------------------------------
+    def mul_plain(
+        self, ct: Ciphertext, values, scale: Fraction | int | None = None
+    ) -> Ciphertext:
+        """Multiply by an unencrypted vector encoded at ``scale``.
+
+        The result's scale is the product of the two scales; callers
+        rescale when appropriate, exactly as with ciphertext products.
+        """
+        if scale is None:
+            scale = self.chain.scale_at(ct.level)
+        scale = Fraction(scale)
+        coeffs = self.encoder.encode(values, scale)
+        pt_poly = RnsPolynomial.from_int_coeffs(ct.basis, coeffs).to_ntt()
+        c0 = ct.c0.to_ntt().pointwise_mul(pt_poly).to_coeff()
+        c1 = ct.c1.to_ntt().pointwise_mul(pt_poly).to_coeff()
+        return Ciphertext(c0=c0, c1=c1, level=ct.level, scale=ct.scale * scale)
+
+    def multiply(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Homomorphic multiply with relinearization (no rescale).
+
+        The resulting scale is ``a.scale * b.scale``; follow with
+        :meth:`rescale` to bring it back down (paper Sec. 2.2).
+        """
+        if a.level != b.level:
+            raise ScaleMismatchError(
+                f"cannot multiply ciphertexts at levels {a.level} and {b.level}"
+            )
+        a0, a1 = a.c0.to_ntt(), a.c1.to_ntt()
+        b0, b1 = b.c0.to_ntt(), b.c1.to_ntt()
+        d0 = a0.pointwise_mul(b0)
+        d1 = a0.pointwise_mul(b1).add(a1.pointwise_mul(b0))
+        d2 = a1.pointwise_mul(b1)
+        k0, k1 = self._keyswitch(d2.to_coeff(), self.chest.relin_key(a.level))
+        c0 = d0.to_coeff().add(k0)
+        c1 = d1.to_coeff().add(k1)
+        return Ciphertext(c0=c0, c1=c1, level=a.level, scale=a.scale * b.scale)
+
+    def square(self, ct: Ciphertext) -> Ciphertext:
+        """Homomorphic squaring (slightly cheaper than a general multiply)."""
+        c0n, c1n = ct.c0.to_ntt(), ct.c1.to_ntt()
+        d0 = c0n.pointwise_mul(c0n)
+        cross = c0n.pointwise_mul(c1n)
+        d1 = cross.add(cross)
+        d2 = c1n.pointwise_mul(c1n)
+        k0, k1 = self._keyswitch(d2.to_coeff(), self.chest.relin_key(ct.level))
+        return Ciphertext(
+            c0=d0.to_coeff().add(k0),
+            c1=d1.to_coeff().add(k1),
+            level=ct.level,
+            scale=ct.scale * ct.scale,
+        )
+
+    # ------------------------------------------------------------------
+    # Rotations
+    # ------------------------------------------------------------------
+    def rotate(self, ct: Ciphertext, steps: int) -> Ciphertext:
+        """Rotate the encrypted vector left by ``steps`` slots."""
+        slots = self.encoder.slots
+        steps %= slots
+        if steps == 0:
+            return ct
+        g = pow(5, steps, 2 * self.chain.n)
+        return self._apply_galois(ct, g)
+
+    def conjugate(self, ct: Ciphertext) -> Ciphertext:
+        """Complex-conjugate the encrypted slots."""
+        return self._apply_galois(ct, 2 * self.chain.n - 1)
+
+    def _apply_galois(self, ct: Ciphertext, g: int) -> Ciphertext:
+        c0 = ct.c0.to_coeff().galois(g)
+        c1 = ct.c1.to_coeff().galois(g)
+        k0, k1 = self._keyswitch(c1, self.chest.galois_key(ct.level, g))
+        return Ciphertext(
+            c0=c0.add(k0), c1=k1, level=ct.level, scale=ct.scale
+        )
+
+    # ------------------------------------------------------------------
+    # Level management (delegated to the chain)
+    # ------------------------------------------------------------------
+    def rescale(self, ct: Ciphertext) -> Ciphertext:
+        """Move down one level, dividing the scale (paper Sec. 2.2)."""
+        return self.chain.rescale(ct)
+
+    def adjust(self, ct: Ciphertext, dst_level: int) -> Ciphertext:
+        """Bring ``ct`` to ``dst_level`` with that level's canonical scale."""
+        return self.chain.adjust(ct, dst_level)
+
+    def multiply_rescale(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        return self.rescale(self.multiply(a, b))
+
+    def square_rescale(self, ct: Ciphertext) -> Ciphertext:
+        return self.rescale(self.square(ct))
+
+    # ------------------------------------------------------------------
+    # Keyswitching (hybrid, digit-decomposed)
+    # ------------------------------------------------------------------
+    def _keyswitch(
+        self, d: RnsPolynomial, ksk: KeySwitchKey
+    ) -> tuple[RnsPolynomial, RnsPolynomial]:
+        """Return ``(k0, k1)`` with ``k0 + k1·s ≈ d·target``.
+
+        ``d`` must be in coefficient form over the level's basis.  Each
+        digit is base-extended to ``M ∪ P`` (the CRB operation), folded
+        with the key rows in NTT space, and the sum is scaled down by
+        ``P`` (paper Sec. 4.3 maps these to the CRB FU).
+        """
+        full_moduli = d.basis.moduli + ksk.special_moduli
+        acc0 = acc1 = None
+        for group, (b_row, a_row) in zip(ksk.digit_groups, ksk.rows):
+            digit = d.restricted(group)
+            ext = base_convert(digit, full_moduli, exact=True).to_ntt()
+            term0 = ext.pointwise_mul(b_row)
+            term1 = ext.pointwise_mul(a_row)
+            acc0 = term0 if acc0 is None else acc0.add(term0)
+            acc1 = term1 if acc1 is None else acc1.add(term1)
+        k0 = scale_down(acc0.to_coeff(), ksk.special_moduli)
+        k1 = scale_down(acc1.to_coeff(), ksk.special_moduli)
+        return k0, k1

@@ -1,0 +1,128 @@
+"""Analytic noise estimation for CKKS ciphertexts.
+
+Tracks an upper estimate of the noise standard deviation (in bits)
+alongside the operations a program performs, using the standard canonical-
+embedding heuristics (Cheon et al., Kim et al.).  This is the planning
+companion to the exact measurements of the precision experiments: it lets
+users ask "how many error-free bits should I expect?" before running
+anything, and it documents where each operation's error comes from.
+
+The estimates are deliberately simple (heuristic constants, no
+ring-expansion factors beyond ``sqrt(n)``); the tests check that they
+upper-bound the empirically measured noise of the functional engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.rns.sampling import DEFAULT_SIGMA
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.schemes.chain import ModulusChain
+
+
+@dataclass(frozen=True)
+class NoiseEstimate:
+    """Noise tracked in the *value domain*: error std relative to 1.0.
+
+    ``log2_error`` is the (log2) standard deviation of the decoded slot
+    error; error-free mantissa bits ~ ``-log2_error`` minus a small
+    tail factor.
+    """
+
+    log2_error: float
+    level: int
+
+    @property
+    def expected_precision_bits(self) -> float:
+        """Error-free mantissa bits, with a ~3-sigma tail allowance."""
+        return -self.log2_error - 2.0
+
+
+class NoiseModel:
+    """Per-operation noise rules over one modulus chain."""
+
+    def __init__(self, chain: "ModulusChain", sigma: float = DEFAULT_SIGMA):
+        self.chain = chain
+        self.sigma = sigma
+        self._sqrt_n_bits = 0.5 * math.log2(chain.n)
+
+    # ------------------------------------------------------------------
+    def fresh(self, level: int | None = None) -> NoiseEstimate:
+        """Noise of a freshly encrypted ciphertext.
+
+        Public-key encryption error is ``e0 + u*e + s*e1``: the ternary
+        convolutions give std ~ sigma * sqrt(4n/3), and taking the max
+        over n coefficients (what error-free *bits* measure) adds another
+        ~sqrt(2 ln n) factor — together ~3 bits beyond sigma * sqrt(n).
+        """
+        if level is None:
+            level = self.chain.max_level
+        scale_bits = self.chain.levels[level].log2_scale
+        coeff_error_bits = math.log2(self.sigma) + self._sqrt_n_bits + 3.0
+        return NoiseEstimate(
+            log2_error=coeff_error_bits - scale_bits, level=level
+        )
+
+    def after_add(self, a: NoiseEstimate, b: NoiseEstimate) -> NoiseEstimate:
+        """Independent errors add in quadrature."""
+        worst = max(a.log2_error, b.log2_error)
+        other = min(a.log2_error, b.log2_error)
+        bump = 0.5 * math.log2(1.0 + 4.0 ** (other - worst))
+        return NoiseEstimate(log2_error=worst + bump, level=a.level)
+
+    def after_multiply(
+        self, a: NoiseEstimate, b: NoiseEstimate, magnitude_bits: float = 0.0
+    ) -> NoiseEstimate:
+        """Multiplying values of size ~2^magnitude scales each operand's
+        error by the other operand (paper Sec. 2.2: noise ~ S * delta),
+        plus a small keyswitch term."""
+        grown = max(
+            a.log2_error + magnitude_bits, b.log2_error + magnitude_bits
+        )
+        ks = self.keyswitch_error_bits(a.level)
+        worst = max(grown, ks)
+        other = min(grown, ks)
+        bump = 0.5 * math.log2(1.0 + 4.0 ** (other - worst))
+        return NoiseEstimate(log2_error=worst + bump, level=a.level)
+
+    def after_rescale(self, est: NoiseEstimate) -> NoiseEstimate:
+        """Rescale divides noise and scale together; in the value domain
+        the error is unchanged except for the rounding floor."""
+        level = est.level - 1
+        floor = self.rounding_floor_bits(level)
+        worst = max(est.log2_error, floor)
+        other = min(est.log2_error, floor)
+        bump = 0.5 * math.log2(1.0 + 4.0 ** (other - worst))
+        return NoiseEstimate(log2_error=worst + bump, level=level)
+
+    def after_adjust(self, est: NoiseEstimate, dst_level: int) -> NoiseEstimate:
+        """Adjust = constant multiply + rescale: same floor as rescale
+        (the paper's Fig. 19 finding)."""
+        floor = self.rounding_floor_bits(dst_level)
+        worst = max(est.log2_error, floor)
+        other = min(est.log2_error, floor)
+        bump = 0.5 * math.log2(1.0 + 4.0 ** (other - worst))
+        return NoiseEstimate(log2_error=worst + bump, level=dst_level)
+
+    def after_rotate(self, est: NoiseEstimate) -> NoiseEstimate:
+        ks = self.keyswitch_error_bits(est.level)
+        worst = max(est.log2_error, ks)
+        other = min(est.log2_error, ks)
+        bump = 0.5 * math.log2(1.0 + 4.0 ** (other - worst))
+        return replace(est, log2_error=worst + bump)
+
+    # ------------------------------------------------------------------
+    def rounding_floor_bits(self, level: int) -> float:
+        """Value-domain error from one rounded division by the scale:
+        ~sqrt(n/12) coefficient units over the scale."""
+        scale_bits = self.chain.levels[level].log2_scale
+        return self._sqrt_n_bits - 1.5 - scale_bits + 2.0
+
+    def keyswitch_error_bits(self, level: int) -> float:
+        """Hybrid keyswitch noise after the mod-down by P: roughly a few
+        rounding units, i.e. the same order as the rescale floor."""
+        return self.rounding_floor_bits(level) + 1.0

@@ -1,0 +1,113 @@
+"""Homomorphic polynomial evaluation.
+
+Activation functions, sigmoid approximations, and bootstrapping's
+modular-reduction step are all polynomial evaluations on ciphertexts
+(paper Sec. 5's workloads).  Two evaluators are provided:
+
+- :func:`eval_power_basis` — Horner's rule in the monomial basis; depth
+  equals the degree, one ciphertext multiply per coefficient.  Right for
+  the degree-2/3 activations (AESPA, HELR sigmoid).
+- :func:`eval_chebyshev` — the Chebyshev-basis recurrence
+  ``T_{k+1} = 2x·T_k - T_{k-1}``; numerically far better conditioned on
+  [-1, 1] for the higher degrees EvalMod-style approximations need.
+
+Both handle level alignment internally (operands are ``adjust``-ed onto a
+common level before each multiply), so they exercise exactly the level-
+management machinery the paper redesigns.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext
+from repro.errors import ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ckks.evaluator import Evaluator
+
+
+def _align(ev: "Evaluator", a: Ciphertext, b: Ciphertext):
+    """Bring two ciphertexts to the lower of their two levels."""
+    level = min(a.level, b.level)
+    return ev.adjust(a, level), ev.adjust(b, level)
+
+
+def eval_power_basis(
+    ev: "Evaluator", ct: Ciphertext, coeffs: Sequence[float]
+) -> Ciphertext:
+    """Evaluate ``c0 + c1 x + ... + cd x^d`` by Horner's rule.
+
+    ``coeffs`` in ascending order.  Consumes ``deg`` levels.
+    """
+    coeffs = [float(c) for c in coeffs]
+    if len(coeffs) < 2:
+        raise ParameterError("need at least a degree-1 polynomial")
+    # Horner: acc = c_d; acc = acc*x + c_{d-1}; ...
+    acc = ev.rescale(ev.mul_plain(ct, coeffs[-1]))
+    for c in reversed(coeffs[1:-1]):
+        acc = ev.add_plain(acc, c)
+        x_here = ev.adjust(ct, acc.level)
+        acc = ev.multiply_rescale(acc, x_here)
+    return ev.add_plain(acc, coeffs[0])
+
+
+def eval_chebyshev(
+    ev: "Evaluator", ct: Ciphertext, cheb_coeffs: Sequence[float]
+) -> Ciphertext:
+    """Evaluate ``Σ c_k T_k(x)`` for ``x`` in [-1, 1].
+
+    Uses the three-term recurrence with on-the-fly level alignment; the
+    result is the weighted sum of the Chebyshev basis ciphertexts.
+    """
+    coeffs = [float(c) for c in cheb_coeffs]
+    degree = len(coeffs) - 1
+    if degree < 1:
+        raise ParameterError("need at least a degree-1 expansion")
+    # Basis ciphertexts T_1 .. T_degree (T_0 == 1 handled as a constant).
+    basis: list[Ciphertext] = [ct]  # T_1 = x
+    if degree >= 2:
+        # T_2 = 2x^2 - 1.
+        sq = ev.rescale(ev.square(ct))
+        basis.append(ev.sub_plain(ev.mul_integer(sq, 2), 1.0))
+    for k in range(3, degree + 1):
+        # T_k = 2x * T_{k-1} - T_{k-2}.
+        x_k, t_prev = _align(ev, ct, basis[-1])
+        prod = ev.multiply_rescale(x_k, t_prev)
+        doubled = ev.mul_integer(prod, 2)
+        t_prev2 = ev.adjust(basis[-2], doubled.level)
+        basis.append(ev.sub(doubled, t_prev2))
+    # Weighted sum at the deepest level.
+    bottom = min(b.level for b in basis)
+    acc = None
+    for c, t_k in zip(coeffs[1:], basis):
+        if c == 0.0:
+            continue
+        term = ev.adjust(t_k, bottom)
+        term = ev.rescale(ev.mul_plain(term, c))
+        acc = term if acc is None else ev.add(acc, term)
+    if acc is None:
+        raise ParameterError("all non-constant coefficients are zero")
+    return ev.add_plain(acc, coeffs[0])
+
+
+def chebyshev_fit(fn, degree: int, interval=(-1.0, 1.0)) -> np.ndarray:
+    """Chebyshev coefficients of ``fn`` on ``interval`` (ascending order).
+
+    Thin wrapper over numpy's Chebyshev interpolation, rescaled to the
+    target interval; used by EvalMod's sine approximation.
+    """
+    lo, hi = interval
+
+    def scaled(t):
+        return fn((t + 1.0) * (hi - lo) / 2.0 + lo)
+
+    series = np.polynomial.chebyshev.Chebyshev.interpolate(scaled, degree)
+    return np.asarray(series.coef, dtype=float)
+
+
+def reference_chebyshev(coeffs: Sequence[float], x: np.ndarray) -> np.ndarray:
+    """Cleartext Chebyshev evaluation (test oracle)."""
+    return np.polynomial.chebyshev.chebval(x, np.asarray(coeffs, dtype=float))

@@ -1,0 +1,136 @@
+"""Command-line interface: plan chains and regenerate paper experiments.
+
+Usage (``python -m repro ...``)::
+
+    python -m repro plan --scheme bitpacker --n 1024 --word 28 \\
+        --scale 40 --levels 6
+    python -m repro compare --word 28
+    python -m repro figure fig11 fig15
+    python -m repro list-figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.schemes import plan_bitpacker_chain, plan_chain, plan_rns_ckks_chain
+
+#: Figure/table name -> (module path, expected runtime note).
+FIGURES: dict[str, tuple[str, str]] = {
+    "fig10": ("repro.eval.fig10", "instant"),
+    "fig11": ("repro.eval.fig11", "seconds"),
+    "fig12": ("repro.eval.fig12", "seconds"),
+    "fig13": ("repro.eval.fig13", "seconds"),
+    "fig14": ("repro.eval.fig14", "a few minutes"),
+    "fig15": ("repro.eval.fig15", "a few minutes"),
+    "fig16": ("repro.eval.fig16", "a few minutes"),
+    "fig17": ("repro.eval.fig17", "a minute"),
+    "fig18": ("repro.eval.fig18", "minutes (real encrypted arithmetic)"),
+    "fig19": ("repro.eval.fig19", "minutes (real encrypted arithmetic)"),
+    "table1": ("repro.eval.table1", "minutes (real encrypted arithmetic)"),
+    "sec61": ("repro.eval.security", "seconds"),
+    "sec62": ("repro.eval.sharp", "seconds"),
+    "sec63": ("repro.eval.area_reduction", "seconds"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BitPacker (ASPLOS 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="plan and print a modulus chain")
+    plan.add_argument("--scheme", choices=["bitpacker", "rns-ckks", "both"],
+                      default="both")
+    plan.add_argument("--n", type=int, default=1024, help="ring degree N")
+    plan.add_argument("--word", type=int, default=28, help="hardware word bits")
+    plan.add_argument("--scale", type=float, default=40.0,
+                      help="target scale bits per level")
+    plan.add_argument("--levels", type=int, default=6)
+    plan.add_argument("--base", type=float, default=60.0,
+                      help="level-0 modulus bits (Qmin)")
+    plan.add_argument("--digits", type=int, default=3,
+                      help="keyswitch digits")
+
+    compare = sub.add_parser(
+        "compare", help="BitPacker vs RNS-CKKS on the paper's workloads"
+    )
+    compare.add_argument("--word", type=int, default=28)
+
+    figure = sub.add_parser("figure", help="regenerate paper figures/tables")
+    figure.add_argument("names", nargs="+", choices=sorted(FIGURES))
+
+    sub.add_parser("list-figures", help="list available experiments")
+    return parser
+
+
+def _cmd_plan(args) -> int:
+    schemes = (
+        ["bitpacker", "rns-ckks"] if args.scheme == "both" else [args.scheme]
+    )
+    for scheme in schemes:
+        chain = plan_chain(
+            scheme,
+            n=args.n,
+            word_bits=args.word,
+            level_scale_bits=args.scale,
+            levels=args.levels,
+            base_bits=args.base,
+            ks_digits=args.digits,
+        )
+        print(chain.describe())
+        top = chain.max_level
+        utilization = chain.log2_q_at(top) / (
+            chain.residues_at(top) * args.word
+        )
+        print(
+            f"  -> R={chain.residues_at(top)} at the top level, "
+            f"datapath utilization {utilization:.0%}\n"
+        )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.eval import fig11
+
+    rows = fig11.run(word_bits=args.word)
+    print(fig11.render(rows))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    import importlib
+
+    for name in args.names:
+        module_path, _note = FIGURES[name]
+        module = importlib.import_module(module_path)
+        print(module.render(module.run()))
+        print()
+    return 0
+
+
+def _cmd_list_figures(_args) -> int:
+    for name, (module_path, note) in sorted(FIGURES.items()):
+        print(f"{name:8s} {module_path:28s} ({note})")
+    return 0
+
+
+_COMMANDS: dict[str, Callable] = {
+    "plan": _cmd_plan,
+    "compare": _cmd_compare,
+    "figure": _cmd_figure,
+    "list-figures": _cmd_list_figures,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""CPU cost model for CKKS (paper Fig. 13)."""
+
+from repro.cpu.model import CpuModel, CpuResult, DEFAULT_CPU_MODEL
+
+__all__ = ["CpuModel", "CpuResult", "DEFAULT_CPU_MODEL"]

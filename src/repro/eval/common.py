@@ -1,0 +1,163 @@
+"""Shared plumbing for the evaluation harnesses.
+
+Caches the expensive artifacts (traces, planned chains, simulation
+results) keyed by their full parameterization, so the per-figure
+harnesses stay declarative and re-running one cheap figure after an
+expensive one is instant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+from repro.accel.config import AcceleratorConfig, craterlake
+from repro.accel.sim import AcceleratorSim, SimResult
+from repro.cpu.model import DEFAULT_CPU_MODEL, CpuResult
+from repro.schemes import plan_bitpacker_chain, plan_rns_ckks_chain
+from repro.schemes.chain import ModulusChain
+from repro.trace.program import HeTrace
+from repro.workloads.apps import BENCHMARKS
+from repro.workloads.bootstrap_model import SCHEDULES
+
+SCHEMES = ("bitpacker", "rns-ckks")
+#: Benchmark x bootstrap pairs of Figs. 11-16 (10 workloads).
+WORKLOAD_GRID = tuple(
+    (app, bs) for bs in ("BS19", "BS26") for app in BENCHMARKS
+)
+#: Paper parameters (Sec. 5).
+EVAL_N = 65536
+EVAL_MAX_LOG_Q = 1596.0
+
+
+def gmean(values: Iterable[float]) -> float:
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("gmean of empty sequence")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@lru_cache(maxsize=None)
+def trace_for(
+    app: str,
+    bs: str,
+    scheme: str,
+    word_bits: int,
+    n: int = EVAL_N,
+    max_log_q: float = EVAL_MAX_LOG_Q,
+    ks_digits: int = 3,
+) -> HeTrace:
+    """The app's trace under a scheme's bootstrap cadence (Sec. 5)."""
+    return BENCHMARKS[app](
+        SCHEDULES[bs], n=n, max_log_q=max_log_q, scheme=scheme,
+        word_bits=word_bits, ks_digits=ks_digits,
+    )
+
+
+@lru_cache(maxsize=None)
+def chain_for(
+    app: str,
+    bs: str,
+    scheme: str,
+    word_bits: int,
+    ks_digits: int = 3,
+    n: int = EVAL_N,
+    max_log_q: float = EVAL_MAX_LOG_Q,
+) -> ModulusChain:
+    trace = trace_for(app, bs, scheme, word_bits, n, max_log_q, ks_digits)
+    if scheme == "bitpacker":
+        return plan_bitpacker_chain(
+            n=trace.n,
+            word_bits=word_bits,
+            level_scale_bits=trace.level_scale_bits,
+            base_bits=trace.base_bits,
+            ks_digits=ks_digits,
+        )
+    # snap_scales models the scale-correction constants real programs
+    # fold into plaintext multiplies when a target scale is unreachable;
+    # these chains feed the performance models only (see the planner doc).
+    return plan_rns_ckks_chain(
+        n=trace.n,
+        word_bits=word_bits,
+        level_scale_bits=trace.level_scale_bits,
+        base_bits=trace.base_bits,
+        ks_digits=ks_digits,
+        snap_scales=True,
+    )
+
+
+@lru_cache(maxsize=None)
+def simulate(
+    app: str,
+    bs: str,
+    scheme: str,
+    word_bits: int = 28,
+    register_file_mb: float = 256.0,
+    crb_shrink: float = 0.0,
+    ks_digits: int = 3,
+    n: int = EVAL_N,
+    max_log_q: float = EVAL_MAX_LOG_Q,
+) -> SimResult:
+    """Run one (workload, scheme, machine) point on the accelerator model."""
+    config = craterlake().with_word_size(word_bits)
+    if register_file_mb != 256.0:
+        config = config.with_register_file(register_file_mb)
+    if crb_shrink:
+        config = config.with_crb_shrink(crb_shrink)
+    sim = AcceleratorSim(config)
+    trace = trace_for(app, bs, scheme, word_bits, n, max_log_q, ks_digits)
+    chain = chain_for(app, bs, scheme, word_bits, ks_digits, n, max_log_q)
+    return sim.run(trace, chain)
+
+
+@lru_cache(maxsize=None)
+def simulate_cpu(
+    app: str,
+    bs: str,
+    scheme: str,
+    word_bits: int = 64,
+    ks_digits: int = 3,
+) -> CpuResult:
+    """Run one workload point on the CPU cost model (Fig. 13)."""
+    trace = trace_for(app, bs, scheme, word_bits, ks_digits=ks_digits)
+    chain = chain_for(app, bs, scheme, word_bits, ks_digits)
+    return DEFAULT_CPU_MODEL.run(trace, chain)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One workload's BitPacker-vs-RNS-CKKS comparison."""
+
+    app: str
+    bs: str
+    bitpacker: float
+    rns_ckks: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.app} ({self.bs})"
+
+    @property
+    def ratio(self) -> float:
+        """RNS-CKKS relative to BitPacker (the paper's normalization)."""
+        return self.rns_ckks / self.bitpacker
+
+
+def format_table(
+    header: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width text table for harness output."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in cells)) if cells else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

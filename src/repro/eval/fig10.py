@@ -1,0 +1,88 @@
+"""Fig. 10: energy breakdown of a homomorphic multiply vs residue count.
+
+The paper plots per-component energy (RF, NTT, CRB, elementwise) of one
+homomorphic multiplication at ``N = 2^16`` on the 28-bit machine as the
+residue count ``R`` sweeps 10..60, and observes ~O(R^1.6) growth with the
+CRB and NTT dominating.  Fig. 10 assumes all operands are on chip, so the
+HBM component is excluded here as well.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.accel.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.accel.kernels import hmul_cost
+from repro.eval.common import format_table
+
+#: The paper's sweep.
+DEFAULT_R_VALUES = tuple(range(10, 61, 5))
+
+
+@dataclass(frozen=True)
+class Fig10Row:
+    residues: int
+    elementwise_mj: float
+    ntt_mj: float
+    crb_mj: float
+    rf_mj: float
+
+    @property
+    def total_mj(self) -> float:
+        return self.elementwise_mj + self.ntt_mj + self.crb_mj + self.rf_mj
+
+
+def run(
+    r_values=DEFAULT_R_VALUES,
+    word_bits: int = 28,
+    n: int = 65536,
+    ks_digits: int = 3,
+    model: EnergyModel = DEFAULT_ENERGY_MODEL,
+) -> list[Fig10Row]:
+    rows = []
+    for r in r_values:
+        specials = max(3, round(r / ks_digits))
+        cost = hmul_cost(r, specials, ks_digits, kshgen=True)
+        breakdown = model.op_energy_breakdown(cost, n, word_bits)
+        rows.append(
+            Fig10Row(
+                residues=r,
+                elementwise_mj=breakdown["elementwise"] * 1e3,
+                ntt_mj=breakdown["ntt"] * 1e3,
+                crb_mj=breakdown["crb"] * 1e3,
+                rf_mj=breakdown["rf"] * 1e3,
+            )
+        )
+    return rows
+
+
+def growth_exponent(rows: list[Fig10Row]) -> float:
+    """Fitted exponent of total energy vs R (paper reports ~1.6)."""
+    first, last = rows[0], rows[-1]
+    return math.log(last.total_mj / first.total_mj) / math.log(
+        last.residues / first.residues
+    )
+
+
+def render(rows: list[Fig10Row]) -> str:
+    table = format_table(
+        ["R", "elementwise [mJ]", "NTT [mJ]", "CRB [mJ]", "RF [mJ]", "total [mJ]"],
+        [
+            [
+                r.residues,
+                f"{r.elementwise_mj:.2f}",
+                f"{r.ntt_mj:.2f}",
+                f"{r.crb_mj:.2f}",
+                f"{r.rf_mj:.2f}",
+                f"{r.total_mj:.2f}",
+            ]
+            for r in rows
+        ],
+    )
+    return (
+        "Fig. 10 — hmul energy breakdown vs residues (28-bit words)\n"
+        f"{table}\n"
+        f"growth exponent: O(R^{growth_exponent(rows):.2f}) "
+        "(paper: ~O(R^1.6), CRB and NTT dominant)"
+    )

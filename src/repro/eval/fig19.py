@@ -1,0 +1,31 @@
+"""Fig. 19: adjust error distributions, 28-bit BitPacker vs RNS-CKKS.
+
+Same methodology as Fig. 18 but measuring a one-level adjust (the Kim
+et al. reduced-error variant for RNS-CKKS, ``bpAdjust`` for BitPacker).
+"""
+
+from __future__ import annotations
+
+from repro.eval.fig18 import DEFAULT_SCALES, PrecisionRow
+from repro.eval.fig18 import render as _render
+from repro.eval.precision import adjust_error_samples, box_stats
+
+
+def run(
+    scales=DEFAULT_SCALES, samples: int = 30, n: int = 2048, seed: int = 11
+) -> list[PrecisionRow]:
+    rows = []
+    for scale in scales:
+        for scheme in ("bitpacker", "rns-ckks"):
+            data = adjust_error_samples(scheme, scale, samples, n=n, seed=seed)
+            rows.append(
+                PrecisionRow(
+                    scale_bits=scale, scheme=scheme, stats=box_stats(data),
+                    samples=samples,
+                )
+            )
+    return rows
+
+
+def render(rows: list[PrecisionRow]) -> str:
+    return _render(rows, figure="19", operation="adjust")

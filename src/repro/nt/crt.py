@@ -1,0 +1,62 @@
+"""Chinese Remainder Theorem reconstruction and centered representatives.
+
+These exact big-integer routines are the test oracle for every RNS
+operation: an :class:`~repro.rns.poly.RnsPolynomial` is correct iff CRT
+reconstruction of its residues matches the big-integer computation.  They
+are also used on the (cheap) decode path, where exactness matters more
+than speed.
+"""
+
+from __future__ import annotations
+
+from math import prod
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.nt.modmath import mod_inv
+
+
+def crt_reconstruct(residues: Sequence[int], moduli: Sequence[int]) -> int:
+    """The unique ``x in [0, Q)`` with ``x ≡ r_i (mod q_i)``, ``Q = Π q_i``."""
+    if len(residues) != len(moduli):
+        raise ParameterError("residues and moduli length mismatch")
+    big_q = prod(moduli)
+    x = 0
+    for r, q in zip(residues, moduli):
+        q_hat = big_q // q
+        x += int(r) * q_hat * mod_inv(q_hat, q)
+    return x % big_q
+
+
+def crt_reconstruct_vector(
+    residue_rows: Sequence[np.ndarray], moduli: Sequence[int]
+) -> list[int]:
+    """CRT-reconstruct a full polynomial: row ``i`` holds coeffs mod ``q_i``."""
+    if len(residue_rows) != len(moduli):
+        raise ParameterError("residue rows and moduli length mismatch")
+    big_q = prod(moduli)
+    n = len(residue_rows[0])
+    # Precompute per-modulus CRT weights once for the whole vector.
+    weights = []
+    for q in moduli:
+        q_hat = big_q // q
+        weights.append(q_hat * mod_inv(q_hat, q))
+    out = [0] * n
+    for row, w in zip(residue_rows, weights):
+        for j in range(n):
+            out[j] += int(row[j]) * w
+    return [v % big_q for v in out]
+
+
+def centered(x: int, q: int) -> int:
+    """Symmetric representative of ``x mod q`` in ``(-q/2, q/2]``."""
+    x %= q
+    return x - q if x > q // 2 else x
+
+
+def centered_vector(values: Sequence[int], q: int) -> list[int]:
+    """Centered representatives for a full coefficient vector."""
+    half = q // 2
+    return [v - q if v > half else v for v in (int(v) % q for v in values)]

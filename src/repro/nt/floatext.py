@@ -1,0 +1,65 @@
+"""Extended-precision float helpers.
+
+CKKS precision experiments (paper Figs. 18–19, Table 1) measure errors
+down to ~2^-45 of unit-scale values, uncomfortably close to float64's
+2^-52 resolution once encode/decode rounding stacks up.  All embedding
+math therefore runs in numpy ``longdouble`` (80-bit extended precision on
+x86, 64-bit mantissa), and these helpers move exact big integers and
+``Fraction`` scales into that domain without a lossy trip through
+float64.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+#: Pi to long-double precision (np.pi is only a float64 constant).
+PI_LONGDOUBLE = np.longdouble("3.14159265358979323846264338327950288419716939937510")
+
+
+def int_to_longdouble(value: int) -> np.longdouble:
+    """Convert a Python int of any size to ``longdouble`` (126-bit path).
+
+    The top 63 bits and the following 63 bits are converted separately and
+    recombined with exact power-of-two scaling, so the result is correctly
+    rounded to well beyond longdouble's 64-bit mantissa.
+    """
+    negative = value < 0
+    if negative:
+        value = -value
+    bits = value.bit_length()
+    if bits <= 63:
+        result = np.longdouble(value)
+    else:
+        shift = bits - 63
+        hi = value >> shift
+        lo = value - (hi << shift)
+        lo_shift = max(shift - 63, 0)
+        lo >>= lo_shift
+        result = np.ldexp(np.longdouble(hi), shift) + np.ldexp(
+            np.longdouble(lo), lo_shift
+        )
+    return -result if negative else result
+
+
+def fraction_to_longdouble(value: Fraction | int | float) -> np.longdouble:
+    """Convert an exact scale (Fraction/int/float) to ``longdouble``."""
+    if isinstance(value, Fraction):
+        return int_to_longdouble(value.numerator) / int_to_longdouble(
+            value.denominator
+        )
+    if isinstance(value, int):
+        return int_to_longdouble(value)
+    return np.longdouble(value)
+
+
+def ints_to_longdouble(values) -> np.ndarray:
+    """Vector version of :func:`int_to_longdouble`."""
+    return np.array([int_to_longdouble(int(v)) for v in values], dtype=np.longdouble)
+
+
+def longdouble_to_int(value: np.longdouble) -> int:
+    """Round a longdouble to the nearest Python int, exactly."""
+    return int(np.rint(value))

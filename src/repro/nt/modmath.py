@@ -1,0 +1,188 @@
+"""Elementwise modular arithmetic on coefficient vectors.
+
+Residue polynomials are numpy arrays of coefficients reduced modulo a
+single prime ``q``.  Three backends sit behind one API:
+
+- **uint64 narrow path** (``q < 2^31``): sums fit in 32 bits and products
+  in 62 bits, so plain ``uint64`` vector ops are exact.  This covers the
+  28-31-bit datapaths that BitPacker makes the sweet spot.
+- **uint64 wide path** (``2^31 <= q < 2^61``): products overflow 64 bits,
+  so multiplication uses an 80-bit ``longdouble`` quotient estimate plus
+  exact wrapping-uint64 correction (a vectorized Barrett-style trick).
+  The estimate is within +-1 of the true quotient (both operands are
+  exact in the 64-bit mantissa and only two roundings occur), and the
+  correction loop absorbs that slack, so the result is exact.
+- **big-int path** (``q >= 2^61``): numpy ``object`` arrays of Python
+  ints, exact for any modulus width up to the 64-bit words the paper
+  sweeps.
+
+All functions are pure: they never mutate their inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+#: Moduli at or above this bound fall back to exact Python-int arrays.
+BIG_MODULUS_THRESHOLD = 1 << 61
+#: Below this bound products of two residues fit in uint64 directly.
+_NARROW_THRESHOLD = 1 << 31
+_SIGN_BIT = np.uint64(1) << np.uint64(63)
+
+
+def dtype_for_modulus(q: int):
+    """The numpy dtype used to store residues mod ``q``."""
+    if q < 2:
+        raise ParameterError(f"modulus must be >= 2, got {q}")
+    if q >= 1 << 64:
+        raise ParameterError(
+            f"moduli above 64 bits are unsupported, got {q.bit_length()} bits"
+        )
+    return np.uint64 if q < BIG_MODULUS_THRESHOLD else object
+
+
+def as_mod_array(values, q: int) -> np.ndarray:
+    """Coerce ``values`` to a reduced residue vector mod ``q``.
+
+    Accepts lists of ints, numpy integer arrays, or object arrays; values
+    may be negative or unreduced.
+    """
+    dtype = dtype_for_modulus(q)
+    if dtype is object:
+        return np.array([int(v) % q for v in values], dtype=object)
+    arr = np.asarray(values)
+    if arr.dtype == np.uint64:
+        return arr % np.uint64(q)
+    if arr.dtype.kind in "iu":
+        # Signed inputs: q < 2^61 fits int64 and numpy's % is
+        # non-negative for a positive divisor.
+        return (arr.astype(np.int64) % np.int64(q)).astype(np.uint64)
+    return np.array([int(v) % q for v in arr], dtype=np.uint64)
+
+
+def zeros(n: int, q: int) -> np.ndarray:
+    """The zero vector of length ``n`` mod ``q``."""
+    if dtype_for_modulus(q) is object:
+        out = np.empty(n, dtype=object)
+        out[:] = 0
+        return out
+    return np.zeros(n, dtype=np.uint64)
+
+
+def _is_big(a: np.ndarray) -> bool:
+    return a.dtype == object
+
+
+def mod_add(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """``(a + b) mod q`` elementwise."""
+    if _is_big(a):
+        return (a + b) % q
+    qa = np.uint64(q)
+    s = a + b  # < 2^62, no wrap
+    return np.where(s >= qa, s - qa, s)
+
+
+def mod_sub(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """``(a - b) mod q`` elementwise."""
+    if _is_big(a):
+        return (a - b) % q
+    qa = np.uint64(q)
+    s = a + (qa - b)
+    return np.where(s >= qa, s - qa, s)
+
+
+def mod_neg(a: np.ndarray, q: int) -> np.ndarray:
+    """``(-a) mod q`` elementwise."""
+    if _is_big(a):
+        return (-a) % q
+    qa = np.uint64(q)
+    return np.where(a == 0, a, qa - a)
+
+
+def _mulmod_wide(a: np.ndarray, b, q: int) -> np.ndarray:
+    """Exact ``a*b mod q`` for uint64 arrays with ``q < 2^61``.
+
+    ``b`` may be an array or a scalar ``uint64``.  The longdouble
+    quotient estimate is off by at most one; wrapping uint64 arithmetic
+    recovers the exact remainder, then two conditional corrections land
+    it in ``[0, q)``.
+    """
+    qa = np.uint64(q)
+    af = a.astype(np.longdouble)
+    bf = (
+        np.longdouble(int(b))
+        if np.isscalar(b) or b.ndim == 0
+        else b.astype(np.longdouble)
+    )
+    quot = np.floor(af * bf / np.longdouble(q)).astype(np.uint64)
+    r = a * b - quot * qa  # wrapping arithmetic; true value in (-q, 2q)
+    r = np.where(r & _SIGN_BIT != 0, r + qa, r)  # quotient overestimate
+    r = np.where(r >= qa, r - qa, r)  # quotient underestimate
+    return r
+
+
+def mod_mul(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """``(a * b) mod q`` elementwise (exact for all backends)."""
+    if _is_big(a):
+        return (a * b) % q
+    if q < _NARROW_THRESHOLD:
+        return a * b % np.uint64(q)
+    return _mulmod_wide(a, b, q)
+
+
+def mod_scalar_mul(a: np.ndarray, k: int, q: int) -> np.ndarray:
+    """``(a * k) mod q`` for a scalar ``k`` (any size; reduced first)."""
+    k %= q
+    if _is_big(a):
+        return (a * k) % q
+    if q < _NARROW_THRESHOLD:
+        return a * np.uint64(k) % np.uint64(q)
+    return _mulmod_wide(a, np.uint64(k), q)
+
+
+def mod_inv(x: int, q: int) -> int:
+    """Multiplicative inverse of ``x`` modulo ``q`` (q need not be prime)."""
+    x %= q
+    g, s, _ = _xgcd(x, q)
+    if g != 1:
+        raise ParameterError(f"{x} is not invertible modulo {q} (gcd={g})")
+    return s % q
+
+
+def mod_pow(base: int, exp: int, q: int) -> int:
+    """``base**exp mod q`` for scalars."""
+    return pow(base, exp, q)
+
+
+def _xgcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended gcd: returns ``(g, s, t)`` with ``a*s + b*t = g``."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        quo = old_r // r
+        old_r, r = r, old_r - quo * r
+        old_s, s = s, old_s - quo * s
+        old_t, t = t, old_t - quo * t
+    return old_r, old_s, old_t
+
+
+def uniform_mod(q: int, size: int, rng: np.random.Generator) -> np.ndarray:
+    """``size`` independent uniform samples from ``[0, q)``.
+
+    Used for the uniformly random polynomial in CKKS encryption and for
+    public-key / keyswitch-key generation.
+    """
+    if q <= 1:
+        return zeros(size, q if q >= 2 else 2)
+    raw = rng.integers(0, q, size=size, dtype=np.uint64)
+    if dtype_for_modulus(q) is object:
+        return np.array([int(v) for v in raw], dtype=object)
+    return raw
+
+
+def to_int_list(a: np.ndarray) -> list[int]:
+    """Residue vector as plain Python ints (for CRT and test oracles)."""
+    return [int(v) for v in a]

@@ -1,0 +1,127 @@
+"""Negacyclic number-theoretic transform over ``Z_q[X]/(X^N + 1)``.
+
+This is the workhorse of every polynomial multiplication in CKKS and the
+unit the accelerators dedicate their largest functional units to (the NTT
+FUs of CraterLake, Fig. 9).  We implement the standard fused-twist
+iterative transforms (Longa–Naehrig): Cooley–Tukey decimation-in-time for
+the forward transform and Gentleman–Sande decimation-in-frequency for the
+inverse, with powers of the primitive ``2N``-th root ``ψ`` folded into the
+twiddle tables so no separate pre/post twist pass is needed.
+
+Contexts (twiddle tables) are cached per ``(q, n)``; they are the software
+analogue of the accelerator's precomputed twiddle ROMs.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.nt import modmath
+from repro.nt.primes import is_ntt_friendly
+
+
+def _bit_reverse_permutation(n: int) -> list[int]:
+    bits = n.bit_length() - 1
+    return [int(format(i, f"0{bits}b")[::-1], 2) for i in range(n)]
+
+
+def _find_primitive_2n_root(q: int, n: int) -> int:
+    """A primitive ``2n``-th root of unity mod ``q`` (``n`` a power of 2).
+
+    Draw ``x`` and set ``ψ = x^((q-1)/2n)``; ``ψ`` has order dividing
+    ``2n``.  Because ``2n`` is a power of two, ``ψ^n == -1`` certifies the
+    order is exactly ``2n``.
+    """
+    exponent = (q - 1) // (2 * n)
+    for x in range(2, q):
+        psi = pow(x, exponent, q)
+        if pow(psi, n, q) == q - 1:
+            return psi
+    raise ParameterError(f"no primitive 2*{n}-th root of unity mod {q}")
+
+
+class NttContext:
+    """Precomputed tables for the negacyclic NTT mod one prime.
+
+    Parameters
+    ----------
+    q:
+        An NTT-friendly prime (``q ≡ 1 mod 2n``).
+    n:
+        Polynomial degree, a power of two.
+    """
+
+    def __init__(self, q: int, n: int):
+        if not is_ntt_friendly(q, n):
+            raise ParameterError(f"{q} is not an NTT-friendly prime for degree {n}")
+        self.q = q
+        self.n = n
+        psi = _find_primitive_2n_root(q, n)
+        psi_inv = modmath.mod_inv(psi, q)
+        rev = _bit_reverse_permutation(n)
+        # psi powers in bit-reversed order, as consumed by the iterative
+        # butterflies.
+        powers = [1] * n
+        for i in range(1, n):
+            powers[i] = powers[i - 1] * psi % q
+        inv_powers = [1] * n
+        for i in range(1, n):
+            inv_powers[i] = inv_powers[i - 1] * psi_inv % q
+        self._psi_rev = [powers[rev[i]] for i in range(n)]
+        self._psi_inv_rev = [inv_powers[rev[i]] for i in range(n)]
+        self._n_inv = modmath.mod_inv(n, q)
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Transform coefficient form -> evaluation (NTT) form."""
+        q = self.q
+        a = coeffs.copy()
+        t = self.n
+        m = 1
+        while m < self.n:
+            t //= 2
+            for i in range(m):
+                j1 = 2 * i * t
+                s = self._psi_rev[m + i]
+                u = a[j1 : j1 + t]
+                v = modmath.mod_scalar_mul(a[j1 + t : j1 + 2 * t], s, q)
+                hi = modmath.mod_sub(u, v, q)
+                a[j1 : j1 + t] = modmath.mod_add(u, v, q)
+                a[j1 + t : j1 + 2 * t] = hi
+            m *= 2
+        return a
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Transform evaluation (NTT) form -> coefficient form."""
+        q = self.q
+        a = values.copy()
+        t = 1
+        m = self.n
+        while m > 1:
+            j1 = 0
+            h = m // 2
+            for i in range(h):
+                s = self._psi_inv_rev[h + i]
+                u = a[j1 : j1 + t]
+                v = a[j1 + t : j1 + 2 * t]
+                hi = modmath.mod_scalar_mul(modmath.mod_sub(u, v, q), s, q)
+                a[j1 : j1 + t] = modmath.mod_add(u, v, q)
+                a[j1 + t : j1 + 2 * t] = hi
+                j1 += 2 * t
+            t *= 2
+            m = h
+        return modmath.mod_scalar_mul(a, self._n_inv, q)
+
+    def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Product of two coefficient-form polynomials mod ``X^n + 1``."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse(modmath.mod_mul(fa, fb, self.q))
+
+
+@lru_cache(maxsize=4096)
+def ntt_context(q: int, n: int) -> NttContext:
+    """Cached :class:`NttContext` for ``(q, n)``."""
+    return NttContext(q, n)

@@ -1,0 +1,234 @@
+"""Primality testing and NTT-friendly prime enumeration.
+
+CKKS residue moduli must be primes ``p ≡ 1 (mod 2N)`` so that the
+negacyclic NTT over ``Z_p[X]/(X^N + 1)`` exists (paper Sec. 3.3, citing
+Lyubashevsky et al.).  The paper's modulus-selection algorithm needs three
+queries, all provided here:
+
+- exhaustive enumeration of all NTT-friendly primes below ``2^w`` for
+  narrow words (``w <= 36`` in the paper),
+- the primes closest below ``2^w`` (non-terminal candidates) for any word
+  size, and
+- ~500 log-spaced terminal-prime candidates for wide words, where
+  exhaustive enumeration is infeasible.
+"""
+
+from __future__ import annotations
+
+import bisect
+from functools import lru_cache
+from typing import Iterator, Sequence
+
+from repro.errors import ParameterError
+
+# Deterministic Miller-Rabin witness sets.  The first set is proven
+# sufficient for all n < 3,317,044,064,679,887,385,961,981 (> 2^64), so the
+# test is exact over the full range of moduli this library uses.
+_MR_WITNESSES_64 = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+)
+
+
+def is_prime(n: int) -> bool:
+    """Return True iff ``n`` is prime (deterministic for n < 3.3e24)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES_64:
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def is_ntt_friendly(p: int, n: int) -> bool:
+    """Return True iff ``p`` is prime and ``p ≡ 1 (mod 2n)``.
+
+    ``n`` is the polynomial degree (a power of two).
+    """
+    return p % (2 * n) == 1 and is_prime(p)
+
+
+def _check_degree(n: int) -> None:
+    if n < 2 or n & (n - 1):
+        raise ParameterError(f"polynomial degree must be a power of two >= 2, got {n}")
+
+
+def ntt_friendly_primes_below(bound: int, n: int) -> Iterator[int]:
+    """Yield NTT-friendly primes ``< bound`` in descending order.
+
+    This walks the arithmetic progression ``1 (mod 2n)`` downward from
+    ``bound``, so taking the first few items is cheap even for 64-bit
+    bounds where exhaustive enumeration is impossible.
+    """
+    _check_degree(n)
+    step = 2 * n
+    # Largest candidate ≡ 1 (mod step) strictly below bound.
+    candidate = (bound - 2) // step * step + 1
+    while candidate > step:
+        if is_prime(candidate):
+            yield candidate
+        candidate -= step
+
+
+def ntt_friendly_primes_above(start: int, n: int) -> Iterator[int]:
+    """Yield NTT-friendly primes ``>= start`` in ascending order."""
+    _check_degree(n)
+    step = 2 * n
+    candidate = (start + step - 2) // step * step + 1
+    if candidate < start:
+        candidate += step
+    while True:
+        if is_prime(candidate):
+            yield candidate
+        candidate += step
+
+
+@lru_cache(maxsize=None)
+def all_ntt_friendly_primes(max_bits: int, n: int) -> tuple[int, ...]:
+    """All NTT-friendly primes below ``2**max_bits``, ascending.
+
+    The paper (Sec. 3.3) enumerates these exhaustively for word sizes up
+    to 36 bits; e.g. with ``n = 2^16`` and 28-bit words there are only a
+    few hundred.  Exhaustive enumeration beyond ~40 bits is impractical;
+    use :func:`terminal_prime_candidates` there instead.
+    """
+    _check_degree(n)
+    if max_bits > 44:
+        raise ParameterError(
+            f"exhaustive enumeration above 44 bits is impractical (got {max_bits}); "
+            "use terminal_prime_candidates instead"
+        )
+    step = 2 * n
+    return tuple(
+        p for p in range(step + 1, 1 << max_bits, step) if is_prime(p)
+    )
+
+
+@lru_cache(maxsize=None)
+def terminal_prime_candidates(
+    word_bits: int, n: int, count: int = 500, min_bits: int | None = None
+) -> tuple[int, ...]:
+    """Candidate terminal primes below ``2**word_bits``, ascending.
+
+    Mirrors the paper's strategy: exhaustive enumeration where feasible
+    (the paper does so for words up to 36 bits at N = 2^16, where the
+    ``1 mod 2N`` progression has only ~half a million candidates), and
+    ``count`` log-spaced samples otherwise.  The cutoff is therefore on
+    the candidate-progression length, not the word size alone — small
+    ring degrees would otherwise make narrow words intractable.
+    """
+    _check_degree(n)
+    progression_length = (1 << word_bits) // (2 * n)
+    if word_bits <= 44 and progression_length <= 1 << 20:
+        primes = all_ntt_friendly_primes(word_bits, n)
+        if min_bits is not None:
+            lo = bisect.bisect_left(primes, 1 << min_bits)
+            primes = primes[lo:]
+        return primes
+    low = max(2 * n + 1, 1 << (min_bits or 0))
+    high = 1 << word_bits
+    ratio = (high / low) ** (1.0 / count)
+    found: list[int] = []
+    seen: set[int] = set()
+    target = float(low)
+    for _ in range(count):
+        target *= ratio
+        for p in ntt_friendly_primes_above(int(target), n):
+            if p >= high:
+                break
+            if p not in seen:
+                seen.add(p)
+                found.append(p)
+            break
+    return tuple(sorted(found))
+
+
+def largest_ntt_friendly_primes(word_bits: int, n: int, count: int) -> tuple[int, ...]:
+    """The ``count`` largest NTT-friendly primes below ``2**word_bits``.
+
+    These are BitPacker's *non-terminal* moduli: primes packed as close to
+    the hardware word size as possible (paper Sec. 3.3).  Returned in
+    descending order, so earlier levels (used by more of the chain) get
+    larger moduli, exactly as the paper prescribes.
+    """
+    out: list[int] = []
+    for p in ntt_friendly_primes_below(1 << word_bits, n):
+        out.append(p)
+        if len(out) == count:
+            return tuple(out)
+    raise ParameterError(
+        f"only {len(out)} NTT-friendly primes below 2^{word_bits} for degree {n}; "
+        f"needed {count}"
+    )
+
+
+def primes_near(target: int, n: int, count: int = 1) -> tuple[int, ...]:
+    """``count`` NTT-friendly primes nearest to ``target`` (any side).
+
+    RNS-CKKS uses this to pick one residue modulus per scale: the modulus
+    should sit as close to the scale as possible so rescaling keeps the
+    scale stable (paper Fig. 4).
+    """
+    below = ntt_friendly_primes_below(target + 1, n)
+    above = ntt_friendly_primes_above(target + 1, n)
+    lo = next(below, None)
+    hi = next(above, None)
+    out: list[int] = []
+    while len(out) < count:
+        if lo is None and hi is None:
+            raise ParameterError(f"no NTT-friendly primes near {target} for degree {n}")
+        if hi is None or (lo is not None and target - lo <= hi - target):
+            out.append(lo)
+            lo = next(below, None)
+        else:
+            out.append(hi)
+            hi = next(above, None)
+    return tuple(out)
+
+
+def distinct_primes_near(
+    target: int, n: int, count: int, taken: Sequence[int]
+) -> tuple[int, ...]:
+    """Like :func:`primes_near` but skipping primes already in ``taken``."""
+    taken_set = set(taken)
+    below = ntt_friendly_primes_below(target + 1, n)
+    above = ntt_friendly_primes_above(target + 1, n)
+    lo = next(below, None)
+    hi = next(above, None)
+    out: list[int] = []
+    while len(out) < count:
+        if lo is not None and lo in taken_set:
+            lo = next(below, None)
+            continue
+        if hi is not None and hi in taken_set:
+            hi = next(above, None)
+            continue
+        if lo is None and hi is None:
+            raise ParameterError(f"ran out of NTT-friendly primes near {target}")
+        if hi is None or (lo is not None and target - lo <= hi - target):
+            out.append(lo)
+            taken_set.add(lo)
+            lo = next(below, None)
+        else:
+            out.append(hi)
+            taken_set.add(hi)
+            hi = next(above, None)
+    return tuple(out)

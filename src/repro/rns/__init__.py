@@ -1,0 +1,42 @@
+"""Residue Number System substrate.
+
+CKKS ciphertext polynomials have coefficients modulo a huge composite
+``Q = q_0 q_1 ... q_{R-1}``; RNS stores them as ``R`` residue polynomials,
+one per prime (paper Sec. 2.3).  This package provides:
+
+- :class:`~repro.rns.basis.RnsBasis` — an ordered set of coprime moduli
+  with cached precomputations,
+- :class:`~repro.rns.poly.RnsPolynomial` — the residue matrix with
+  coefficient/NTT domain tracking and exact arithmetic,
+- :mod:`repro.rns.convert` — fast base conversion (the accelerator's CRB
+  operation), ``scale_up`` (paper Listing 3) and multi-modulus
+  ``scale_down`` (paper Listing 5), and exact mod-down.
+- :mod:`repro.rns.sampling` — the random polynomials CKKS needs
+  (uniform, ternary secrets, discrete Gaussian errors).
+"""
+
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import RnsPolynomial
+from repro.rns.convert import (
+    base_convert,
+    scale_up,
+    scale_down,
+    drop_moduli,
+)
+from repro.rns.sampling import (
+    sample_uniform,
+    sample_ternary,
+    sample_gaussian,
+)
+
+__all__ = [
+    "RnsBasis",
+    "RnsPolynomial",
+    "base_convert",
+    "scale_up",
+    "scale_down",
+    "drop_moduli",
+    "sample_uniform",
+    "sample_ternary",
+    "sample_gaussian",
+]

@@ -1,0 +1,116 @@
+"""RNS basis: an ordered tuple of pairwise-coprime NTT-friendly primes."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import prod
+from typing import Iterable, Sequence
+
+from repro.errors import ParameterError
+from repro.nt.modmath import mod_inv
+from repro.nt.ntt import ntt_context
+
+
+class RnsBasis:
+    """An ordered RNS basis over polynomial degree ``n``.
+
+    The order matters: residue row ``i`` of every polynomial over this
+    basis is taken modulo ``moduli[i]``.  Bases are immutable and
+    hashable, so precomputations (CRT weights, basis-conversion tables)
+    can be cached per basis pair.
+    """
+
+    __slots__ = ("n", "moduli", "_product")
+
+    def __init__(self, n: int, moduli: Sequence[int]):
+        moduli = tuple(int(q) for q in moduli)
+        if not moduli:
+            raise ParameterError("an RNS basis needs at least one modulus")
+        if len(set(moduli)) != len(moduli):
+            raise ParameterError(f"RNS moduli must be distinct, got {moduli}")
+        self.n = n
+        self.moduli = moduli
+        self._product: int | None = None
+
+    @property
+    def size(self) -> int:
+        """Number of residues ``R``."""
+        return len(self.moduli)
+
+    @property
+    def product(self) -> int:
+        """The composite modulus ``Q = Π q_i``."""
+        if self._product is None:
+            self._product = prod(self.moduli)
+        return self._product
+
+    @property
+    def log2_product(self) -> float:
+        """``log2 Q``, the coefficient width the basis represents."""
+        return float(self.product.bit_length() - 1) + _fractional_bits(self.product)
+
+    def ntt(self, index: int):
+        """The cached NTT context for residue row ``index``."""
+        return ntt_context(self.moduli[index], self.n)
+
+    def index_of(self, q: int) -> int:
+        """Row index of modulus ``q`` (raises if absent)."""
+        try:
+            return self.moduli.index(q)
+        except ValueError:
+            raise ParameterError(f"{q} is not in this basis") from None
+
+    def contains(self, q: int) -> bool:
+        return q in self.moduli
+
+    def extended(self, extra: Iterable[int]) -> "RnsBasis":
+        """A new basis with ``extra`` moduli appended (order preserved)."""
+        return RnsBasis(self.n, self.moduli + tuple(extra))
+
+    def without(self, shed: Iterable[int]) -> "RnsBasis":
+        """A new basis with the ``shed`` moduli removed."""
+        shed_set = set(shed)
+        missing = shed_set - set(self.moduli)
+        if missing:
+            raise ParameterError(f"cannot shed moduli not in basis: {sorted(missing)}")
+        return RnsBasis(self.n, [q for q in self.moduli if q not in shed_set])
+
+    def subset(self, indices: Sequence[int]) -> "RnsBasis":
+        """A new basis keeping only the rows at ``indices`` (in that order)."""
+        return RnsBasis(self.n, [self.moduli[i] for i in indices])
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, RnsBasis)
+            and self.n == other.n
+            and self.moduli == other.moduli
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.moduli))
+
+    def __repr__(self) -> str:
+        bits = [q.bit_length() for q in self.moduli]
+        return f"RnsBasis(n={self.n}, R={self.size}, bits={bits})"
+
+
+def _fractional_bits(value: int) -> float:
+    """Fractional part of ``log2(value)`` computed without overflow."""
+    import math
+
+    top = value >> max(0, value.bit_length() - 64)
+    return math.log2(top) - (top.bit_length() - 1)
+
+
+@lru_cache(maxsize=4096)
+def crt_weights(basis: RnsBasis) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Per-modulus CRT decomposition constants for ``basis``.
+
+    Returns ``(q_hat_inv, q_hat)`` where ``q_hat[i] = Q / q_i`` (a big int)
+    and ``q_hat_inv[i] = (Q / q_i)^{-1} mod q_i``.  These are the constants
+    behind both exact CRT reconstruction and fast base conversion.
+    """
+    big_q = basis.product
+    q_hat = tuple(big_q // q for q in basis.moduli)
+    q_hat_inv = tuple(mod_inv(h, q) for h, q in zip(q_hat, basis.moduli))
+    return q_hat_inv, q_hat

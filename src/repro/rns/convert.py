@@ -1,0 +1,148 @@
+"""Base conversion and RNS rescaling kernels.
+
+These are the level-management primitives of the paper:
+
+- :func:`base_convert` — fast RNS base conversion.  On the accelerators
+  this is the CRB / bConv functional unit (paper Sec. 4.1); in software it
+  is the inner loop of Listing 5's ``scaleDown`` and of hybrid
+  keyswitching.
+- :func:`scale_up` — paper Listing 3: multiply by the product of the new
+  moduli and append (zero) residues, growing ``Q`` without changing the
+  encrypted values.
+- :func:`scale_down` — paper Listing 5: divide by the product of ``k``
+  shed moduli in one pass, with round-to-nearest correction.
+- :func:`drop_moduli` — the original RNS-CKKS approximate mod-down, which
+  simply discards residues (used when adjusting across multiple levels).
+"""
+
+from __future__ import annotations
+
+from math import prod
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.nt import modmath
+from repro.rns.basis import RnsBasis, crt_weights
+from repro.rns.poly import COEFF, RnsPolynomial
+
+
+def _float_rows(rows: Sequence[np.ndarray]) -> list[np.ndarray]:
+    out = []
+    for row in rows:
+        if row.dtype == object:
+            out.append(np.array([float(int(v)) for v in row], dtype=np.float64))
+        else:
+            out.append(row.astype(np.float64))
+    return out
+
+
+def base_convert(
+    poly: RnsPolynomial, dst_moduli: Sequence[int], exact: bool = True
+) -> RnsPolynomial:
+    """Convert ``poly`` (coeff domain) to the basis ``dst_moduli``.
+
+    Computes, for each coefficient ``x`` known mod ``Q = Π q_i``, the value
+    of its *centered* representative ``x_c ∈ (-Q/2, Q/2]`` mod each
+    destination prime.  With ``exact=True`` the CRT overflow multiple
+    ``α = round(Σ v_i / q_i)`` is recovered in float64 and subtracted
+    (Halevi–Polyakov–Shoup); the result is exact unless a coefficient lies
+    within ~2^-50 · Q of ± Q/2, which is never the case for the
+    noise-bounded values CKKS stores.  With ``exact=False`` this is the
+    classic approximate conversion, off by a small multiple of ``Q``.
+    """
+    if poly.domain != COEFF:
+        raise ParameterError("base_convert requires coefficient domain")
+    src = poly.basis
+    q_hat_inv, q_hat = crt_weights(src)
+    # v_i = x_i * (Q/q_i)^{-1} mod q_i : the CRT decomposition digits.
+    v_rows = [
+        modmath.mod_scalar_mul(row, inv, q)
+        for row, inv, q in zip(poly.rows, q_hat_inv, src.moduli)
+    ]
+    alpha = None
+    if exact:
+        acc = np.zeros(src.n, dtype=np.float64)
+        for v, q in zip(_float_rows(v_rows), src.moduli):
+            acc += v / float(q)
+        alpha = np.rint(acc).astype(np.int64)
+    big_q = src.product
+    out_rows = []
+    for p in dst_moduli:
+        acc_row = modmath.zeros(src.n, p)
+        for v, h in zip(v_rows, q_hat):
+            term = modmath.mod_scalar_mul(modmath.as_mod_array(v, p), h % p, p)
+            acc_row = modmath.mod_add(acc_row, term, p)
+        if alpha is not None:
+            corr = modmath.mod_scalar_mul(
+                modmath.as_mod_array(alpha, p), big_q % p, p
+            )
+            acc_row = modmath.mod_sub(acc_row, corr, p)
+        out_rows.append(acc_row)
+    return RnsPolynomial(RnsBasis(src.n, dst_moduli), out_rows, COEFF)
+
+
+def scale_up(poly: RnsPolynomial, new_moduli: Sequence[int]) -> RnsPolynomial:
+    """Paper Listing 3: grow the basis by ``new_moduli``.
+
+    Multiplies every residue by ``K = Π new_moduli`` and appends zero rows
+    for the new moduli (``x*K ≡ 0`` mod each new modulus).  The encrypted
+    value, scale, and noise all grow by exactly ``K``; the caller accounts
+    for the scale.  Works in either domain.
+    """
+    new_moduli = tuple(int(q) for q in new_moduli)
+    for q in new_moduli:
+        if poly.basis.contains(q):
+            raise ParameterError(f"scale_up modulus {q} already in basis")
+    k = prod(new_moduli)
+    scaled = poly.scalar_mul(k)
+    rows = scaled.rows + [modmath.zeros(poly.basis.n, q) for q in new_moduli]
+    return RnsPolynomial(poly.basis.extended(new_moduli), rows, poly.domain)
+
+
+def scale_down(
+    poly: RnsPolynomial, shed_moduli: Sequence[int]
+) -> RnsPolynomial:
+    """Paper Listing 5: divide by ``P = Π shed_moduli`` and shed those rows.
+
+    Computes ``round(x / P)`` on the underlying centered integers in a
+    single multi-modulus pass — the operation the paper maps onto the CRB
+    unit so that shedding ``k`` residues costs about the same as shedding
+    one (Sec. 4.3).  Rounding to nearest falls out of the centered base
+    conversion: the symmetric remainder ``[x]_P`` is subtracted before the
+    exact division by ``P``.
+    """
+    if poly.domain != COEFF:
+        raise ParameterError("scale_down requires coefficient domain")
+    shed = tuple(int(q) for q in shed_moduli)
+    if not shed:
+        return poly.copy()
+    p_prod = prod(shed)
+    keep = [q for q in poly.basis.moduli if q not in set(shed)]
+    if not keep:
+        raise ParameterError("scale_down cannot shed the entire basis")
+    # [x]_P (centered remainder), lifted to the kept moduli.
+    x_mod_p = poly.restricted(shed)
+    lifted = base_convert(x_mod_p, keep, exact=True)
+    inv_p = {q: modmath.mod_inv(p_prod % q, q) for q in keep}
+    out_rows = []
+    for q in keep:
+        diff = modmath.mod_sub(poly.row(q), lifted.row(q), q)
+        out_rows.append(modmath.mod_scalar_mul(diff, inv_p[q], q))
+    return RnsPolynomial(RnsBasis(poly.basis.n, keep), out_rows, COEFF)
+
+
+def drop_moduli(poly: RnsPolynomial, shed_moduli: Sequence[int]) -> RnsPolynomial:
+    """Discard residue rows (the original RNS-CKKS approximate mod-down).
+
+    Reinterprets ``x mod Q`` as ``x mod Q'``; exact whenever the centered
+    value fits in the smaller modulus, which level management guarantees.
+    Does not change scale or value.  Works in either domain.
+    """
+    shed = set(int(q) for q in shed_moduli)
+    keep = [q for q in poly.basis.moduli if q not in shed]
+    missing = shed - set(poly.basis.moduli)
+    if missing:
+        raise ParameterError(f"cannot drop moduli not in basis: {sorted(missing)}")
+    return poly.restricted(keep)

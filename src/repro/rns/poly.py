@@ -1,0 +1,207 @@
+"""RNS polynomials: the residue matrix CKKS computes on.
+
+An :class:`RnsPolynomial` is an element of ``Z_Q[X]/(X^n + 1)`` stored as
+one residue row per basis modulus.  Rows live either in coefficient form
+or in NTT (evaluation) form; the two accelerator-relevant operations that
+force coefficient form are base conversion and Galois automorphisms, and
+the polynomial tracks its domain so callers cannot silently mix them.
+
+Polynomials are value objects: every operation returns a new polynomial.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError, ScaleMismatchError
+from repro.nt import modmath
+from repro.nt.crt import crt_reconstruct_vector, centered_vector
+from repro.rns.basis import RnsBasis
+
+COEFF = "coeff"
+NTT = "ntt"
+
+
+class RnsPolynomial:
+    """A polynomial over an RNS basis, in coefficient or NTT domain."""
+
+    __slots__ = ("basis", "rows", "domain")
+
+    def __init__(self, basis: RnsBasis, rows: Sequence[np.ndarray], domain: str):
+        if len(rows) != basis.size:
+            raise ParameterError(
+                f"expected {basis.size} residue rows, got {len(rows)}"
+            )
+        if domain not in (COEFF, NTT):
+            raise ParameterError(f"unknown domain {domain!r}")
+        self.basis = basis
+        self.rows = list(rows)
+        self.domain = domain
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, basis: RnsBasis, domain: str = COEFF) -> "RnsPolynomial":
+        rows = [modmath.zeros(basis.n, q) for q in basis.moduli]
+        return cls(basis, rows, domain)
+
+    @classmethod
+    def from_int_coeffs(
+        cls, basis: RnsBasis, coeffs: Sequence[int]
+    ) -> "RnsPolynomial":
+        """Reduce big-integer (possibly negative) coefficients into RNS."""
+        if len(coeffs) != basis.n:
+            raise ParameterError(f"expected {basis.n} coefficients, got {len(coeffs)}")
+        rows = []
+        for q in basis.moduli:
+            rows.append(modmath.as_mod_array([c % q for c in coeffs], q))
+        return cls(basis, rows, COEFF)
+
+    @classmethod
+    def from_rows(
+        cls, basis: RnsBasis, rows: Sequence[np.ndarray], domain: str
+    ) -> "RnsPolynomial":
+        return cls(basis, [r.copy() for r in rows], domain)
+
+    # ------------------------------------------------------------------
+    # Domain conversions
+    # ------------------------------------------------------------------
+    def to_ntt(self) -> "RnsPolynomial":
+        if self.domain == NTT:
+            return self
+        rows = [self.basis.ntt(i).forward(r) for i, r in enumerate(self.rows)]
+        return RnsPolynomial(self.basis, rows, NTT)
+
+    def to_coeff(self) -> "RnsPolynomial":
+        if self.domain == COEFF:
+            return self
+        rows = [self.basis.ntt(i).inverse(r) for i, r in enumerate(self.rows)]
+        return RnsPolynomial(self.basis, rows, COEFF)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "RnsPolynomial") -> None:
+        if self.basis != other.basis:
+            raise ScaleMismatchError(
+                f"basis mismatch: {self.basis} vs {other.basis}"
+            )
+        if self.domain != other.domain:
+            raise ScaleMismatchError(
+                f"domain mismatch: {self.domain} vs {other.domain}"
+            )
+
+    def add(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_compatible(other)
+        rows = [
+            modmath.mod_add(a, b, q)
+            for a, b, q in zip(self.rows, other.rows, self.basis.moduli)
+        ]
+        return RnsPolynomial(self.basis, rows, self.domain)
+
+    def sub(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_compatible(other)
+        rows = [
+            modmath.mod_sub(a, b, q)
+            for a, b, q in zip(self.rows, other.rows, self.basis.moduli)
+        ]
+        return RnsPolynomial(self.basis, rows, self.domain)
+
+    def neg(self) -> "RnsPolynomial":
+        rows = [modmath.mod_neg(a, q) for a, q in zip(self.rows, self.basis.moduli)]
+        return RnsPolynomial(self.basis, rows, self.domain)
+
+    def pointwise_mul(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Hadamard product; in NTT domain this is polynomial multiplication."""
+        self._check_compatible(other)
+        if self.domain != NTT:
+            raise ParameterError("pointwise_mul requires NTT domain")
+        rows = [
+            modmath.mod_mul(a, b, q)
+            for a, b, q in zip(self.rows, other.rows, self.basis.moduli)
+        ]
+        return RnsPolynomial(self.basis, rows, NTT)
+
+    def poly_mul(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Negacyclic polynomial product, returned in the callers' domain."""
+        product = self.to_ntt().pointwise_mul(other.to_ntt())
+        return product if self.domain == NTT else product.to_coeff()
+
+    def scalar_mul(self, k: int) -> "RnsPolynomial":
+        """Multiply by an integer constant (the ``mulConst`` of the paper)."""
+        rows = [
+            modmath.mod_scalar_mul(a, k, q)
+            for a, q in zip(self.rows, self.basis.moduli)
+        ]
+        return RnsPolynomial(self.basis, rows, self.domain)
+
+    # ------------------------------------------------------------------
+    # Automorphisms (homomorphic rotations)
+    # ------------------------------------------------------------------
+    def galois(self, g: int) -> "RnsPolynomial":
+        """Apply the automorphism ``X -> X^g`` (``g`` odd, mod ``2n``).
+
+        Must be applied in coefficient form; the NTT-domain equivalent is
+        the accelerator's automorphism FU (a lane permutation), which the
+        performance model accounts separately.
+        """
+        if self.domain != COEFF:
+            raise ParameterError("galois requires coefficient domain")
+        n = self.basis.n
+        two_n = 2 * n
+        g %= two_n
+        if g % 2 == 0:
+            raise ParameterError(f"Galois element must be odd, got {g}")
+        # target index and sign for each source coefficient
+        idx = np.empty(n, dtype=np.int64)
+        flip = np.empty(n, dtype=bool)
+        for j in range(n):
+            t = j * g % two_n
+            idx[j] = t % n
+            flip[j] = t >= n
+        rows = []
+        for row, q in zip(self.rows, self.basis.moduli):
+            out = modmath.zeros(n, q)
+            negated = modmath.mod_neg(row, q)
+            out[idx] = np.where(flip, negated, row)
+            rows.append(out)
+        return RnsPolynomial(self.basis, rows, COEFF)
+
+    # ------------------------------------------------------------------
+    # Basis surgery
+    # ------------------------------------------------------------------
+    def restricted(self, moduli: Iterable[int]) -> "RnsPolynomial":
+        """Keep only the rows for ``moduli`` (in the given order)."""
+        moduli = tuple(moduli)
+        rows = [self.rows[self.basis.index_of(q)] for q in moduli]
+        return RnsPolynomial(RnsBasis(self.basis.n, moduli), rows, self.domain)
+
+    def row(self, q: int) -> np.ndarray:
+        return self.rows[self.basis.index_of(q)]
+
+    # ------------------------------------------------------------------
+    # Exact reconstruction (test oracle / decode path)
+    # ------------------------------------------------------------------
+    def to_int_coeffs(self, signed: bool = True) -> list[int]:
+        """CRT-reconstructed big-integer coefficients.
+
+        With ``signed=True`` (default) coefficients are centered
+        representatives in ``(-Q/2, Q/2]``, the form decryption needs.
+        """
+        poly = self.to_coeff()
+        values = crt_reconstruct_vector(poly.rows, poly.basis.moduli)
+        if signed:
+            return centered_vector(values, poly.basis.product)
+        return values
+
+    def copy(self) -> "RnsPolynomial":
+        return RnsPolynomial(self.basis, [r.copy() for r in self.rows], self.domain)
+
+    def __repr__(self) -> str:
+        return (
+            f"RnsPolynomial(n={self.basis.n}, R={self.basis.size}, "
+            f"domain={self.domain!r})"
+        )

@@ -1,0 +1,39 @@
+"""Level management schemes: baseline RNS-CKKS and BitPacker.
+
+Both planners consume the same program constraints (Fig. 8: per-level
+target scales, base modulus, word size, security cap) and emit a
+:class:`~repro.schemes.chain.ModulusChain`, so every consumer — the
+functional evaluator, the accelerator model, the workloads — treats the
+two schemes interchangeably.
+"""
+
+from repro.schemes.chain import LevelSpec, ModulusChain
+from repro.schemes.rns_ckks import RnsCkksChain, plan_rns_ckks_chain
+from repro.schemes.bitpacker import (
+    BitPackerChain,
+    greedy_terminal_primes,
+    plan_bitpacker_chain,
+)
+from repro.schemes.security import check_security, max_log_qp, required_degree
+
+__all__ = [
+    "LevelSpec",
+    "ModulusChain",
+    "RnsCkksChain",
+    "plan_rns_ckks_chain",
+    "BitPackerChain",
+    "greedy_terminal_primes",
+    "plan_bitpacker_chain",
+    "check_security",
+    "max_log_qp",
+    "required_degree",
+]
+
+
+def plan_chain(scheme: str, *args, **kwargs) -> ModulusChain:
+    """Plan a chain by scheme name (``"rns-ckks"`` or ``"bitpacker"``)."""
+    if scheme == "rns-ckks":
+        return plan_rns_ckks_chain(*args, **kwargs)
+    if scheme == "bitpacker":
+        return plan_bitpacker_chain(*args, **kwargs)
+    raise ValueError(f"unknown scheme {scheme!r}")

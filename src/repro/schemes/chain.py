@@ -1,0 +1,197 @@
+"""Modulus chains: the level -> (moduli, scale) map of Fig. 8.
+
+A :class:`ModulusChain` is the single abstraction that separates the two
+schemes the paper compares.  Both planners produce the same interface —
+per-level residue moduli, per-level canonical scales, special keyswitch
+moduli — and implement ``rescale``/``adjust`` on ciphertexts.  Everything
+above (the evaluator) and below (the accelerator model) consumes chains
+without knowing which scheme produced them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+from fractions import Fraction
+from math import prod
+from typing import Sequence
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext
+from repro.errors import LevelExhaustedError, ParameterError, ScaleMismatchError
+from repro.nt.floatext import fraction_to_longdouble
+from repro.rns.basis import RnsBasis
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """One level of a chain: its RNS moduli and canonical working scale."""
+
+    moduli: tuple[int, ...]
+    scale: Fraction
+
+    @property
+    def residues(self) -> int:
+        return len(self.moduli)
+
+    @property
+    def log2_q(self) -> float:
+        q = prod(self.moduli)
+        return float(np.log2(fraction_to_longdouble(Fraction(q))))
+
+    @property
+    def log2_scale(self) -> float:
+        return float(np.log2(fraction_to_longdouble(self.scale)))
+
+
+class ModulusChain(ABC):
+    """Level-to-modulus map plus scheme-specific level management."""
+
+    def __init__(
+        self,
+        n: int,
+        word_bits: int,
+        levels: Sequence[LevelSpec],
+        special_moduli: Sequence[int],
+        ks_digits: int,
+    ):
+        if not levels:
+            raise ParameterError("a chain needs at least one level")
+        self.n = n
+        self.word_bits = word_bits
+        self.levels = tuple(levels)
+        self.special_moduli = tuple(special_moduli)
+        self.ks_digits = ks_digits
+        self._bases: dict[int, RnsBasis] = {}
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def scheme(self) -> str:
+        """Short scheme name: ``"rns-ckks"`` or ``"bitpacker"``."""
+
+    @property
+    def max_level(self) -> int:
+        return len(self.levels) - 1
+
+    def _spec(self, level: int) -> LevelSpec:
+        if not 0 <= level <= self.max_level:
+            raise LevelExhaustedError(
+                f"level {level} outside chain range [0, {self.max_level}]"
+            )
+        return self.levels[level]
+
+    def moduli_at(self, level: int) -> tuple[int, ...]:
+        return self._spec(level).moduli
+
+    def scale_at(self, level: int) -> Fraction:
+        return self._spec(level).scale
+
+    def residues_at(self, level: int) -> int:
+        return self._spec(level).residues
+
+    def q_product_at(self, level: int) -> int:
+        return prod(self._spec(level).moduli)
+
+    def log2_q_at(self, level: int) -> float:
+        return self._spec(level).log2_q
+
+    def basis_at(self, level: int) -> RnsBasis:
+        basis = self._bases.get(level)
+        if basis is None:
+            basis = RnsBasis(self.n, self.moduli_at(level))
+            self._bases[level] = basis
+        return basis
+
+    @property
+    def fresh_scale(self) -> Fraction:
+        """The scale fresh ciphertexts are encoded at (top level)."""
+        return self.scale_at(self.max_level)
+
+    @property
+    def all_moduli(self) -> tuple[int, ...]:
+        """Union of every modulus used anywhere in the chain (no specials)."""
+        seen: dict[int, None] = {}
+        for spec in self.levels:
+            for q in spec.moduli:
+                seen.setdefault(q)
+        return tuple(seen)
+
+    def _check_on_chain(self, ct: Ciphertext) -> None:
+        expected = self.moduli_at(ct.level)
+        if ct.moduli != expected:
+            raise ScaleMismatchError(
+                f"ciphertext basis does not match chain level {ct.level}: "
+                f"{[q.bit_length() for q in ct.moduli]} vs "
+                f"{[q.bit_length() for q in expected]}"
+            )
+
+    # ------------------------------------------------------------------
+    # Level management (scheme-specific)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def rescale(self, ct: Ciphertext) -> Ciphertext:
+        """Move ``ct`` one level down, dividing scale and noise."""
+
+    @abstractmethod
+    def adjust(self, ct: Ciphertext, dst_level: int) -> Ciphertext:
+        """Move ``ct`` to ``dst_level`` with that level's canonical scale.
+
+        This is Kim et al.'s reduced-error adjust: the output scale equals
+        the scale a rescaled product would have at ``dst_level``, so any
+        two ciphertexts at a level can be added (paper Listing 2 / 6).
+        """
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line human-readable chain summary (bit widths per level)."""
+        lines = [
+            f"{self.scheme} chain: n={self.n}, word={self.word_bits}b, "
+            f"levels={self.max_level + 1}, ks_digits={self.ks_digits}, "
+            f"specials={[q.bit_length() for q in self.special_moduli]}"
+        ]
+        for level in range(self.max_level, -1, -1):
+            spec = self.levels[level]
+            lines.append(
+                f"  L{level:>3}: R={spec.residues:>2} "
+                f"log2Q={spec.log2_q:7.1f} log2S={spec.log2_scale:6.2f} "
+                f"bits={[q.bit_length() for q in spec.moduli]}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.n}, word={self.word_bits}, "
+            f"levels={self.max_level + 1})"
+        )
+
+
+def replace_ciphertext(
+    ct: Ciphertext, c0, c1, level: int, scale: Fraction
+) -> Ciphertext:
+    """Construct the post-level-management ciphertext."""
+    return replace(ct, c0=c0, c1=c1, level=level, scale=scale)
+
+
+def canonicalize_scale(scale: Fraction, canonical: Fraction) -> Fraction:
+    """Snap a post-level-management scale onto the chain's canonical one.
+
+    The planners clamp canonical scales to 192-bit rationals (see
+    :func:`repro.schemes.selection.limit_fraction`); a runtime rescale
+    recomputes the unclamped value, which differs by < 2^-190.  Snapping
+    removes that bookkeeping dust and keeps Fractions bounded over long
+    programs.  Genuine scale deviations (e.g. adjust's rounded constant,
+    ~2^-40 relative) are far above the snap window and are preserved
+    exactly, then clamped to 320 bits so repeated operations cannot blow
+    up the representation.
+    """
+    if scale == canonical:
+        return canonical
+    if abs(scale / canonical - 1) < Fraction(1, 1 << 100):
+        return canonical
+    from repro.schemes.selection import limit_fraction
+
+    return limit_fraction(scale, 320)

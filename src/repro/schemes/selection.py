@@ -1,0 +1,280 @@
+"""Shared prime-selection helpers for the chain planners."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import PlanningError
+from repro.nt.primes import (
+    ntt_friendly_primes_above,
+    ntt_friendly_primes_below,
+)
+
+
+def limit_fraction(value, bits: int = 192):
+    """Round a Fraction to a dyadic rational with a ``bits``-bit mantissa.
+
+    The canonical-scale recurrence ``S_{L-1} = S_L^2 / q`` squares the
+    denominator at every level, so exact rationals grow doubly
+    exponentially down a chain.  Planners clamp each level's scale to 192
+    significant bits — about 150 bits below anything the precision
+    experiments can observe — keeping all bookkeeping effectively exact
+    at constant cost.
+    """
+    from fractions import Fraction
+
+    num, den = value.numerator, value.denominator
+    if den == 1 or num == 0:
+        return value
+    shift = bits - (num.bit_length() - den.bit_length())
+    if shift >= 0:
+        mantissa = ((num << shift) + den // 2) // den
+        return Fraction(mantissa, 1 << shift)
+    scaled_den = den << -shift
+    mantissa = (num + scaled_den // 2) // scaled_den
+    return Fraction(mantissa << -shift)
+
+
+def log2_int(value: int) -> float:
+    """``log2`` of a big integer without float overflow."""
+    top = value >> max(0, value.bit_length() - 64)
+    return math.log2(top) + max(0, value.bit_length() - 64)
+
+
+def log2_fraction(value) -> float:
+    """``log2`` of a Fraction without float overflow."""
+    return log2_int(value.numerator) - log2_int(value.denominator)
+
+
+def min_prime_bits(n: int) -> float:
+    """Bit width of the smallest NTT-friendly prime for degree ``n``.
+
+    All NTT-friendly primes exceed ``2n`` (paper Sec. 3.3), so this lower
+    bound is what makes very small scales unreachable at large ``n``.
+    """
+    smallest = next(ntt_friendly_primes_above(2 * n + 1, n))
+    return math.log2(smallest)
+
+
+def smallest_primes(n: int, count: int, taken: Iterable[int]) -> list[int]:
+    """The ``count`` smallest NTT-friendly primes not already ``taken``."""
+    taken_set = set(taken)
+    out: list[int] = []
+    for p in ntt_friendly_primes_above(2 * n + 1, n):
+        if p in taken_set:
+            continue
+        out.append(p)
+        if len(out) == count:
+            return out
+    raise PlanningError(f"could not find {count} small NTT-friendly primes")
+
+
+def primes_near_target(
+    target_bits: float,
+    n: int,
+    count: int,
+    taken: Iterable[int],
+    limit_bits: float,
+) -> list[int]:
+    """``count`` distinct NTT-friendly primes near ``2^target_bits``.
+
+    Primes are drawn from both sides of the target by log distance, but
+    never at or above ``2^limit_bits`` (the hardware word size).  This is
+    the selection RNS-CKKS uses to tie each residue modulus to a scale.
+    """
+    taken_set = set(taken)
+    target = max(2.0 ** min(target_bits, limit_bits), 2.0 * n + 2)
+    limit = int(2.0 ** limit_bits)
+    below = ntt_friendly_primes_below(int(target) + 1, n)
+    above = ntt_friendly_primes_above(int(target) + 1, n)
+    lo = next(below, None)
+    hi = next(above, None)
+    out: list[int] = []
+    while len(out) < count:
+        if lo is not None and lo in taken_set:
+            lo = next(below, None)
+            continue
+        if hi is not None and (hi in taken_set or hi >= limit):
+            hi = next(above, None) if hi < limit else None
+            continue
+        if lo is None and hi is None:
+            raise PlanningError(
+                f"ran out of NTT-friendly primes near 2^{target_bits:.1f} "
+                f"below 2^{limit_bits:.1f} for n={n}"
+            )
+        if hi is None:
+            pick = lo
+            lo = next(below, None)
+        elif lo is None:
+            pick = hi
+            hi = next(above, None)
+        elif target / lo <= hi / target:
+            pick = lo
+            lo = next(below, None)
+        else:
+            pick = hi
+            hi = next(above, None)
+        out.append(pick)
+        taken_set.add(pick)
+    return out
+
+
+def largest_primes_below_word(
+    n: int, word_bits: int, count: int, taken: Iterable[int] = ()
+) -> list[int]:
+    """The ``count`` largest NTT-friendly primes below ``2^word_bits``."""
+    taken_set = set(taken)
+    out: list[int] = []
+    for p in ntt_friendly_primes_below(1 << word_bits, n):
+        if p in taken_set:
+            continue
+        out.append(p)
+        if len(out) == count:
+            return out
+    raise PlanningError(
+        f"only found {len(out)} of {count} word-sized primes below "
+        f"2^{word_bits} for n={n}"
+    )
+
+
+#: Escalating (undershoot, overshoot) acceptance windows, in bits.  The
+#: paper's half-bit window is tried first; when NTT-friendly prime gaps
+#: make a target unreachable (small primes are sparse at large N), the
+#: overshoot bound is relaxed — overshooting only grows the modulus, and
+#: top-down target re-anchoring keeps lower levels' scales on target.
+ACCEPTANCE_WINDOWS = (
+    (0.5, 0.5),
+    (0.5, 1.0),
+    (0.5, 2.0),
+    (1.0, 4.0),
+    (2.0, 8.0),
+    (4.0, 16.0),
+)
+
+
+def greedy_prime_product(
+    target_bits: float,
+    candidates: Sequence[int],
+    tolerance_bits: float = 0.5,
+    max_count: int = 5,
+    over_tolerance_bits: float | None = None,
+) -> tuple[int, ...] | None:
+    """Paper Listing 7: find distinct primes whose product matches a target.
+
+    Accepts a product within ``-over_tolerance_bits`` (overshoot) and
+    ``+tolerance_bits`` (undershoot) of ``2^target_bits``, preferring the
+    fewest primes (the paper's greedy stops at the first success).  Each
+    slot aims for an even split of the remaining bits and the last slot
+    targets the exact remainder, where NTT-friendly prime density nearly
+    always offers a match; a small branching factor bounds the search.
+    Returns ``None`` when no combination exists.
+    """
+    import bisect
+
+    over = tolerance_bits if over_tolerance_bits is None else over_tolerance_bits
+    pool = sorted(set(candidates))
+    if not pool:
+        return None
+    bits = [math.log2(p) for p in pool]
+    min_bits_avail, max_bits_avail = bits[0], bits[-1]
+    branch = 20
+    node_budget = 30_000
+
+    def nearest_indices(ideal: float):
+        """Pool indices ordered by log-distance from ``ideal`` (lazy)."""
+        hi = bisect.bisect_left(bits, ideal)
+        lo = hi - 1
+        while lo >= 0 or hi < len(bits):
+            if lo < 0:
+                yield hi
+                hi += 1
+            elif hi >= len(bits):
+                yield lo
+                lo -= 1
+            elif ideal - bits[lo] <= bits[hi] - ideal:
+                yield lo
+                lo -= 1
+            else:
+                yield hi
+                hi += 1
+
+    def recurse(
+        remaining: float, slots: int, chosen: tuple[int, ...], nodes: list[int]
+    ) -> tuple[int, ...] | None:
+        if -over <= remaining <= tolerance_bits:
+            return chosen
+        if slots == 0:
+            return None
+        if (
+            remaining < min_bits_avail - over
+            or remaining > slots * max_bits_avail + tolerance_bits
+        ):
+            return None  # unreachable with the remaining slots
+        nodes[0] += 1
+        if nodes[0] > node_budget:
+            return None
+        # Aim each slot at an even split of what is left; the final slot
+        # targets the exact remainder, where NTT-friendly prime density
+        # nearly always offers a match within the window.
+        ideal = remaining if slots == 1 else remaining / slots
+        tried = 0
+        for idx in nearest_indices(ideal):
+            if pool[idx] in chosen or bits[idx] > remaining + over:
+                continue
+            result = recurse(
+                remaining - bits[idx], slots - 1, chosen + (pool[idx],), nodes
+            )
+            if result is not None:
+                return result
+            tried += 1
+            if tried >= branch:
+                return None
+        return None
+
+    for count in range(1, max_count + 1):
+        result = recurse(target_bits, count, (), [0])
+        if result is not None:
+            return tuple(sorted(result, reverse=True))
+    return None
+
+
+def choose_special_moduli(
+    n: int,
+    word_bits: int,
+    level_moduli: Sequence[int],
+    ks_digits: int,
+    taken: Iterable[int],
+    margin_bits: float = 1.0,
+) -> tuple[int, ...]:
+    """Special primes ``P`` for hybrid keyswitching.
+
+    ``P`` must exceed the largest digit product so keyswitch noise stays
+    below one bit of the scale.  Digits partition the top level's moduli
+    into ``ks_digits`` contiguous groups; we cover the largest group plus
+    ``margin_bits`` using word-sized primes.
+    """
+    import numpy as np
+
+    groups = np.array_split(np.arange(len(level_moduli)), max(1, ks_digits))
+    max_bits = 0.0
+    for part in groups:
+        if len(part) == 0:
+            continue
+        bits = sum(math.log2(level_moduli[i]) for i in part)
+        max_bits = max(max_bits, bits)
+    needed = max_bits + margin_bits
+    taken_set = set(taken)
+    chosen: list[int] = []
+    total = 0.0
+    for p in ntt_friendly_primes_below(1 << word_bits, n):
+        if p in taken_set:
+            continue
+        chosen.append(p)
+        total += math.log2(p)
+        if total >= needed:
+            return tuple(chosen)
+    raise PlanningError(
+        f"could not assemble {needed:.1f} bits of special moduli below "
+        f"2^{word_bits} for n={n}"
+    )

@@ -1,0 +1,12 @@
+"""Homomorphic-operation traces.
+
+Workloads are recorded once as a stream of ``(op, level)`` events and
+replayed against either the functional CKKS engine (small ``n``,
+correctness and precision) or the accelerator/CPU cost models (``n =
+2^16``, performance and energy) — the two uses the paper makes of each
+benchmark.
+"""
+
+from repro.trace.program import HeTrace, OpKind, TraceOp, TraceBuilder
+
+__all__ = ["HeTrace", "OpKind", "TraceOp", "TraceBuilder"]

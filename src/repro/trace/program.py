@@ -1,0 +1,154 @@
+"""Trace IR: the operation stream the performance models consume.
+
+A trace is scheme-agnostic: it records *what* the program does (operation
+kind, level, multiplicity) together with the program constraints of
+Fig. 8 (per-level target scales, base modulus width).  Each scheme's
+planner turns those constraints into a modulus chain; the simulator then
+prices every trace op through that chain's per-level residue counts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import ParameterError
+
+
+class OpKind(enum.Enum):
+    """Primitive homomorphic operations (paper Sec. 2.2)."""
+
+    HMUL = "hmul"  # ciphertext x ciphertext (with relinearization)
+    HROT = "hrot"  # homomorphic rotation (with keyswitch)
+    HADD = "hadd"  # ciphertext + ciphertext
+    PMUL = "pmul"  # ciphertext x plaintext
+    PADD = "padd"  # ciphertext + plaintext
+    RESCALE = "rescale"  # level L -> L-1
+    ADJUST = "adjust"  # level L -> dst with scale correction
+
+
+#: Kinds counted as level management in Fig. 12's breakdown.
+LEVEL_MANAGEMENT_KINDS = frozenset({OpKind.RESCALE, OpKind.ADJUST})
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """``count`` occurrences of one op at one level."""
+
+    kind: OpKind
+    level: int
+    count: float = 1.0
+    dst_level: int | None = None  # ADJUST only
+
+    def __post_init__(self):
+        if self.kind is OpKind.ADJUST and self.dst_level is None:
+            raise ParameterError("ADJUST ops need a dst_level")
+        if self.count < 0:
+            raise ParameterError("op count must be non-negative")
+
+
+@dataclass
+class HeTrace:
+    """A complete program trace plus its chain-planning constraints."""
+
+    name: str
+    n: int
+    base_bits: float
+    level_scale_bits: tuple[float, ...]
+    ops: list[TraceOp] = field(default_factory=list)
+
+    @property
+    def max_level(self) -> int:
+        return len(self.level_scale_bits) - 1
+
+    @property
+    def total_ops(self) -> float:
+        return sum(op.count for op in self.ops)
+
+    def count_by_kind(self) -> dict[OpKind, float]:
+        out: dict[OpKind, float] = {}
+        for op in self.ops:
+            out[op.kind] = out.get(op.kind, 0.0) + op.count
+        return out
+
+    def validate(self) -> None:
+        for op in self.ops:
+            if not 0 <= op.level <= self.max_level:
+                raise ParameterError(
+                    f"{self.name}: op at level {op.level} outside chain "
+                    f"[0, {self.max_level}]"
+                )
+            if op.kind is OpKind.RESCALE and op.level == 0:
+                raise ParameterError(f"{self.name}: rescale at level 0")
+
+    def extended(self, ops: Iterable[TraceOp]) -> "HeTrace":
+        return HeTrace(
+            name=self.name,
+            n=self.n,
+            base_bits=self.base_bits,
+            level_scale_bits=self.level_scale_bits,
+            ops=self.ops + list(ops),
+        )
+
+
+class TraceBuilder:
+    """Incrementally records a program's operations.
+
+    Workload generators use this as a tiny embedded DSL::
+
+        b = TraceBuilder("rnn", n=65536, base_bits=60, level_scale_bits=...)
+        b.hmul(level); b.rescale(level); b.hrot(level - 1, count=128)
+        trace = b.build()
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n: int,
+        base_bits: float,
+        level_scale_bits: Iterable[float],
+    ):
+        self.name = name
+        self.n = n
+        self.base_bits = base_bits
+        self.level_scale_bits = tuple(float(b) for b in level_scale_bits)
+        self._ops: list[TraceOp] = []
+
+    # Recording helpers ----------------------------------------------------
+    def record(self, kind: OpKind, level: int, count: float = 1.0,
+               dst_level: int | None = None) -> None:
+        if count:
+            self._ops.append(TraceOp(kind, level, count, dst_level))
+
+    def hmul(self, level: int, count: float = 1.0) -> None:
+        self.record(OpKind.HMUL, level, count)
+
+    def hrot(self, level: int, count: float = 1.0) -> None:
+        self.record(OpKind.HROT, level, count)
+
+    def hadd(self, level: int, count: float = 1.0) -> None:
+        self.record(OpKind.HADD, level, count)
+
+    def pmul(self, level: int, count: float = 1.0) -> None:
+        self.record(OpKind.PMUL, level, count)
+
+    def padd(self, level: int, count: float = 1.0) -> None:
+        self.record(OpKind.PADD, level, count)
+
+    def rescale(self, level: int, count: float = 1.0) -> None:
+        self.record(OpKind.RESCALE, level, count)
+
+    def adjust(self, level: int, dst_level: int, count: float = 1.0) -> None:
+        self.record(OpKind.ADJUST, level, count, dst_level)
+
+    def build(self) -> HeTrace:
+        trace = HeTrace(
+            name=self.name,
+            n=self.n,
+            base_bits=self.base_bits,
+            level_scale_bits=self.level_scale_bits,
+            ops=list(self._ops),
+        )
+        trace.validate()
+        return trace

@@ -1,0 +1,67 @@
+"""Shared fixtures: small CKKS contexts and chains reused across tests.
+
+Functional tests run at tiny ring degrees (64-256) so the whole suite
+stays fast on one core; the arithmetic under test is degree-independent.
+Session-scoped contexts amortize key generation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext
+from repro.schemes import plan_bitpacker_chain, plan_rns_ckks_chain
+
+TEST_N = 256
+TEST_LEVELS = 4
+TEST_SCALE_BITS = 30.0
+
+
+@pytest.fixture(scope="session")
+def bp_chain():
+    return plan_bitpacker_chain(
+        n=TEST_N,
+        word_bits=28,
+        level_scale_bits=TEST_SCALE_BITS,
+        levels=TEST_LEVELS,
+        base_bits=40.0,
+        ks_digits=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def rns_chain():
+    return plan_rns_ckks_chain(
+        n=TEST_N,
+        word_bits=28,
+        level_scale_bits=TEST_SCALE_BITS,
+        levels=TEST_LEVELS,
+        base_bits=40.0,
+        ks_digits=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def bp_ctx(bp_chain):
+    return CkksContext(bp_chain, seed=101)
+
+
+@pytest.fixture(scope="session")
+def rns_ctx(rns_chain):
+    return CkksContext(rns_chain, seed=101)
+
+
+@pytest.fixture(scope="session", params=["bitpacker", "rns-ckks"])
+def ctx(request, bp_ctx, rns_ctx):
+    """Parametrized over both schemes: the evaluator must behave the same."""
+    return bp_ctx if request.param == "bitpacker" else rns_ctx
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)
+
+
+def make_values(ctx, rng, magnitude=1.0):
+    return rng.uniform(-magnitude, magnitude, ctx.slots)

@@ -1,0 +1,68 @@
+"""Functional bootstrap substitute tests."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.bootstrap import BS19, BS26, FunctionalBootstrapper
+from repro.errors import ParameterError
+from tests.conftest import make_values
+
+
+class TestAlgorithms:
+    def test_paper_precision_profiles(self):
+        assert BS19.precision_bits == 19.0
+        assert BS26.precision_bits == 26.0
+        assert BS19.stage_scale_bits == (52.0, 55.0, 30.0)
+        assert BS26.stage_scale_bits == (54.0, 60.0, 40.0)
+
+
+class TestFunctionalBootstrap:
+    def test_restores_level(self, ctx, rng):
+        vals = make_values(ctx, rng)
+        ct = ctx.evaluator.adjust(ctx.encrypt(vals), 0)
+        boot = FunctionalBootstrapper(ctx, BS26)
+        fresh = boot.bootstrap(ct)
+        assert fresh.level == ctx.chain.max_level
+
+    def test_preserves_values_to_algorithm_precision(self, ctx, rng):
+        vals = make_values(ctx, rng)
+        ct = ctx.evaluator.adjust(ctx.encrypt(vals), 0)
+        boot = FunctionalBootstrapper(ctx, BS26)
+        prec = ctx.precision_bits(boot.bootstrap(ct), vals)
+        # Should be near (not much above, not far below) the 26-bit floor.
+        assert 18 < prec < 33
+
+    def test_bs19_noisier_than_bs26(self, ctx, rng):
+        vals = make_values(ctx, rng)
+        ct = ctx.evaluator.adjust(ctx.encrypt(vals), 0)
+        p19 = ctx.precision_bits(
+            FunctionalBootstrapper(ctx, BS19).bootstrap(ct), vals
+        )
+        p26 = ctx.precision_bits(
+            FunctionalBootstrapper(ctx, BS26).bootstrap(ct), vals
+        )
+        assert p19 < p26
+
+    def test_output_level_override(self, ctx, rng):
+        vals = make_values(ctx, rng)
+        ct = ctx.evaluator.adjust(ctx.encrypt(vals), 0)
+        boot = FunctionalBootstrapper(ctx, BS26, output_level=2)
+        assert boot.bootstrap(ct).level == 2
+
+    def test_bad_output_level(self, ctx):
+        with pytest.raises(ParameterError):
+            FunctionalBootstrapper(ctx, BS19, output_level=99)
+
+    def test_enables_unbounded_depth(self, ctx, rng):
+        """Fig. 3's arc: compute to level 0, bootstrap, keep computing."""
+        vals = make_values(ctx, rng) * 0.5
+        ct = ctx.encrypt(vals)
+        ref = vals.astype(np.longdouble)
+        boot = FunctionalBootstrapper(ctx, BS26)
+        for _ in range(ctx.chain.max_level):
+            ct = ctx.evaluator.square_rescale(ct)
+            ref = ref * ref
+        ct = boot.bootstrap(ct)
+        ct = ctx.evaluator.square_rescale(ct)
+        ref = ref * ref
+        assert ctx.precision_bits(ct, ref) > 10

@@ -1,0 +1,115 @@
+"""Unit tests for encryption/decryption and key material."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.keys import SecretKey, galois_int_coeffs, split_into_digits
+from tests.conftest import make_values
+
+
+class TestEncryptDecrypt:
+    def test_public_key_round_trip(self, ctx, rng):
+        vals = make_values(ctx, rng)
+        got = ctx.decrypt_real(ctx.encrypt(vals))
+        assert np.max(np.abs(got - vals)) < 2.0**-12
+
+    def test_symmetric_round_trip(self, ctx, rng):
+        vals = make_values(ctx, rng)
+        got = ctx.decrypt_real(ctx.encrypt_symmetric(vals))
+        assert np.max(np.abs(got - vals)) < 2.0**-12
+
+    def test_fresh_precision_tracks_scale(self, ctx, rng):
+        """Fresh noise is a few bits; precision ~ scale - 10ish bits."""
+        vals = make_values(ctx, rng)
+        prec = ctx.precision_bits(ctx.encrypt(vals), vals)
+        scale_bits = float(np.log2(float(ctx.chain.fresh_scale)))
+        assert scale_bits - 18 < prec < scale_bits
+
+    def test_encrypt_at_lower_level(self, ctx, rng):
+        vals = make_values(ctx, rng)
+        ct = ctx.encrypt(vals, level=1)
+        assert ct.level == 1
+        assert ct.moduli == ctx.chain.moduli_at(1)
+        assert ctx.precision_bits(ct, vals) > 10
+
+    def test_ciphertexts_are_randomized(self, ctx, rng):
+        vals = make_values(ctx, rng)
+        a = ctx.encrypt(vals)
+        b = ctx.encrypt(vals)
+        assert [int(v) for v in a.c1.rows[0]] != [int(v) for v in b.c1.rows[0]]
+
+    def test_decrypt_complex(self, ctx, rng):
+        vals = rng.uniform(-1, 1, ctx.slots) + 1j * rng.uniform(-1, 1, ctx.slots)
+        got = ctx.decrypt(ctx.encrypt(vals))
+        assert np.max(np.abs(got - vals)) < 2.0**-12
+
+    def test_wrong_key_fails_to_decrypt(self, bp_chain, rng):
+        from repro.ckks import CkksContext
+
+        ctx_a = CkksContext(bp_chain, seed=1)
+        ctx_b = CkksContext(bp_chain, seed=2)
+        vals = rng.uniform(-1, 1, ctx_a.slots)
+        ct = ctx_a.encrypt(vals)
+        garbage = ctx_b.decrypt_real(ct)
+        assert np.max(np.abs(garbage - vals)) > 1.0
+
+
+class TestSecretKey:
+    def test_ternary_coefficients(self, rng):
+        sk = SecretKey.generate(128, rng)
+        assert set(sk.coeffs) <= {-1, 0, 1}
+
+    def test_hamming_weight(self, rng):
+        sk = SecretKey.generate(128, rng, hamming_weight=32)
+        assert sum(1 for c in sk.coeffs if c != 0) == 32
+
+    def test_lift_cache(self, bp_chain, rng):
+        sk = SecretKey.generate(bp_chain.n, rng)
+        basis = bp_chain.basis_at(0)
+        assert sk.lift(basis) is sk.lift(basis)
+
+    def test_galois_matches_helper(self, rng):
+        sk = SecretKey.generate(64, rng)
+        g5 = sk.galois(5)
+        assert g5.coeffs == galois_int_coeffs(sk.coeffs, 5, 64)
+
+
+class TestDigitSplit:
+    def test_partition_covers_all(self):
+        moduli = tuple(range(101, 118, 2))
+        digits = split_into_digits(moduli, 3)
+        flat = [q for group in digits for q in group]
+        assert flat == list(moduli)
+        assert len(digits) == 3
+
+    def test_more_digits_than_moduli(self):
+        digits = split_into_digits((3, 5), 4)
+        assert digits == ((3,), (5,))
+
+    def test_single_digit(self):
+        moduli = (3, 5, 7)
+        assert split_into_digits(moduli, 1) == (moduli,)
+
+
+class TestKeyChest:
+    def test_relin_key_cached(self, bp_ctx):
+        level = bp_ctx.chain.max_level
+        assert bp_ctx.chest.relin_key(level) is bp_ctx.chest.relin_key(level)
+
+    def test_galois_key_cached_per_element(self, bp_ctx):
+        level = bp_ctx.chain.max_level
+        k5 = bp_ctx.chest.galois_key(level, 5)
+        k25 = bp_ctx.chest.galois_key(level, 25)
+        assert k5 is not k25
+        assert bp_ctx.chest.galois_key(level, 5) is k5
+
+    def test_ksk_structure(self, bp_ctx):
+        level = bp_ctx.chain.max_level
+        ksk = bp_ctx.chest.relin_key(level)
+        assert ksk.digits == len(ksk.rows)
+        flat = [q for g in ksk.digit_groups for q in g]
+        assert tuple(flat) == bp_ctx.chain.moduli_at(level)
+        full_size = len(flat) + len(ksk.special_moduli)
+        for b_row, a_row in ksk.rows:
+            assert b_row.basis.size == full_size
+            assert a_row.basis.size == full_size

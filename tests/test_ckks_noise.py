@@ -1,0 +1,54 @@
+"""The analytic noise model must upper-bound measured noise."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.noise import NoiseModel
+from tests.conftest import make_values
+
+
+@pytest.fixture()
+def model(ctx):
+    return NoiseModel(ctx.chain)
+
+
+class TestNoiseModel:
+    def test_fresh_estimate_bounds_measurement(self, ctx, model, rng):
+        vals = make_values(ctx, rng)
+        measured = ctx.precision_bits(ctx.encrypt(vals), vals)
+        predicted = model.fresh().expected_precision_bits
+        # Prediction must not promise more precision than measured.
+        assert predicted <= measured + 1.0
+
+    def test_fresh_estimate_not_wildly_pessimistic(self, ctx, model, rng):
+        vals = make_values(ctx, rng)
+        measured = ctx.precision_bits(ctx.encrypt(vals), vals)
+        predicted = model.fresh().expected_precision_bits
+        assert predicted > measured - 12.0
+
+    def test_multiply_rescale_chain_bound(self, ctx, model, rng):
+        vals = make_values(ctx, rng) * 0.5
+        ct = ctx.encrypt(vals)
+        est = model.fresh()
+        ref = vals.copy()
+        for _ in range(2):
+            ct = ctx.evaluator.square_rescale(ct)
+            est = model.after_rescale(model.after_multiply(est, est))
+            ref = ref * ref
+        measured = ctx.precision_bits(ct, ref)
+        assert est.expected_precision_bits <= measured + 1.0
+
+    def test_add_grows_noise_slightly(self, model):
+        fresh = model.fresh()
+        added = model.after_add(fresh, fresh)
+        assert 0.0 < added.log2_error - fresh.log2_error <= 0.51
+
+    def test_rescale_tracks_level(self, model):
+        est = model.after_rescale(model.fresh())
+        assert est.level == model.chain.max_level - 1
+
+    def test_adjust_floor_close_to_rescale_floor(self, model):
+        level = model.chain.max_level - 1
+        adj = model.after_adjust(model.fresh(), level)
+        res = model.after_rescale(model.fresh())
+        assert abs(adj.log2_error - res.log2_error) < 2.0

@@ -1,0 +1,62 @@
+"""CLI tests (invoked in-process)."""
+
+import pytest
+
+from repro.cli import FIGURES, main
+
+
+class TestPlanCommand:
+    def test_plan_both_schemes(self, capsys):
+        rc = main([
+            "plan", "--n", "256", "--word", "28", "--scale", "30",
+            "--levels", "3", "--base", "40", "--digits", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bitpacker chain" in out
+        assert "rns-ckks chain" in out
+        assert "utilization" in out
+
+    def test_plan_single_scheme(self, capsys):
+        rc = main([
+            "plan", "--scheme", "bitpacker", "--n", "256", "--scale", "30",
+            "--levels", "2", "--base", "40", "--digits", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bitpacker chain" in out
+        assert "rns-ckks chain" not in out
+
+
+class TestCompareCommand:
+    def test_compare_runs(self, capsys):
+        rc = main(["compare", "--word", "28"])
+        assert rc == 0
+        assert "gmean" in capsys.readouterr().out
+
+
+class TestFigureCommand:
+    def test_fig10(self, capsys):
+        rc = main(["figure", "fig10"])
+        assert rc == 0
+        assert "Fig. 10" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+    def test_registry_complete(self):
+        expected = {
+            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+            "fig17", "fig18", "fig19", "table1", "sec61", "sec62", "sec63",
+        }
+        assert set(FIGURES) == expected
+
+
+class TestListFigures:
+    def test_lists_all(self, capsys):
+        rc = main(["list-figures"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out

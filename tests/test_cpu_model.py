@@ -1,0 +1,55 @@
+"""CPU cost model tests (Fig. 13's substrate)."""
+
+import pytest
+
+from repro.cpu import DEFAULT_CPU_MODEL
+from repro.errors import SimulationError
+from repro.schemes import plan_bitpacker_chain, plan_rns_ckks_chain
+from repro.trace.program import TraceBuilder
+
+
+def _trace(levels=3, n=4096):
+    b = TraceBuilder("cpu-t", n=n, base_bits=50.0,
+                     level_scale_bits=(40.0,) * (levels + 1))
+    b.hmul(levels, 3)
+    b.hrot(levels, 2)
+    b.rescale(levels, 3)
+    b.pmul(levels - 1, 5)
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def chains():
+    kw = dict(n=4096, word_bits=60, level_scale_bits=40.0, levels=3,
+              base_bits=50.0, ks_digits=2)
+    return (plan_bitpacker_chain(**kw), plan_rns_ckks_chain(**kw))
+
+
+class TestCpuModel:
+    def test_runs_and_accumulates(self, chains):
+        res = DEFAULT_CPU_MODEL.run(_trace(), chains[0])
+        assert res.cycles > 0
+        assert res.time_s > 0
+        assert res.level_mgmt_cycles > 0
+
+    def test_bitpacker_not_slower(self, chains):
+        trace = _trace()
+        bp = DEFAULT_CPU_MODEL.run(trace, chains[0])
+        rns = DEFAULT_CPU_MODEL.run(trace, chains[1])
+        assert bp.cycles <= rns.cycles * 1.05
+
+    def test_level_mismatch_rejected(self, chains):
+        with pytest.raises(SimulationError):
+            DEFAULT_CPU_MODEL.run(_trace(levels=5), chains[0])
+
+    def test_ntt_weight_dominates(self, chains):
+        """Sec. 6.4: without a CRB unit, NTTs dominate CPU time."""
+        from repro.accel.kernels import hmul_cost
+        import math
+
+        model = DEFAULT_CPU_MODEL
+        cost = hmul_cost(20, 7, 2, kshgen=False)
+        n = 65536
+        ntt_cycles = cost.ntt_passes * (n / 2) * math.log2(n) * model.butterfly_cycles
+        crb_cycles = cost.crb_mac_rows * n * model.crb_mac_cycles
+        assert ntt_cycles > crb_cycles

@@ -1,0 +1,208 @@
+"""Smoke + claim tests for the per-figure evaluation harnesses.
+
+These run the real harness code at reduced sizes and assert the *paper's
+qualitative claims* — who wins, monotonicities, flatness — rather than
+absolute numbers.
+"""
+
+import pytest
+
+from repro.eval import (
+    area_reduction,
+    common,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    security,
+    sharp,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+WORDS = (28, 44, 64)  # reduced sweep for test speed
+
+
+class TestCommon:
+    def test_gmean(self):
+        assert common.gmean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            common.gmean([])
+
+    def test_grid_is_ten_workloads(self):
+        assert len(common.WORKLOAD_GRID) == 10
+
+    def test_simulate_cached(self):
+        a = common.simulate("LogReg", "BS19", "bitpacker", 28)
+        b = common.simulate("LogReg", "BS19", "bitpacker", 28)
+        assert a is b
+
+    def test_format_table(self):
+        text = common.format_table(["a", "bb"], [[1, 2], [30, 4]])
+        assert "a" in text and "30" in text
+
+
+class TestFig10:
+    def test_energy_grows_superlinearly(self):
+        rows = fig10.run(r_values=(10, 30, 60))
+        assert rows[-1].total_mj > rows[0].total_mj
+        assert 1.1 < fig10.growth_exponent(rows) < 1.9
+
+    def test_crb_dominates_at_high_r(self):
+        rows = fig10.run(r_values=(60,))
+        assert rows[0].crb_mj == max(
+            rows[0].crb_mj, rows[0].ntt_mj, rows[0].rf_mj, rows[0].elementwise_mj
+        )
+
+    def test_render(self):
+        assert "Fig. 10" in fig10.render(fig10.run(r_values=(10, 60)))
+
+
+class TestFig11:
+    def test_bitpacker_wins_everywhere(self):
+        rows = fig11.run()
+        assert all(r.ratio > 1.0 for r in rows)
+
+    def test_gmean_in_paper_ballpark(self):
+        rows = fig11.run()
+        g = common.gmean(r.ratio for r in rows)
+        assert 1.2 < g < 2.0  # paper: 1.59
+
+    def test_small_scales_benefit_more(self):
+        """SqueezeNet/LogReg (35-bit scales) gain more than ResNet (45)."""
+        rows = {r.label: r.ratio for r in fig11.run()}
+        small = common.gmean(
+            rows[k] for k in rows if "SqueezeNet" in k or "LogReg" in k
+        )
+        large = common.gmean(rows[k] for k in rows if "ResNet-20 (" in k)
+        assert small > large
+
+    def test_render(self):
+        assert "gmean" in fig11.render(fig11.run())
+
+
+class TestFig12:
+    def test_energy_ratio_above_one(self):
+        rows = fig12.run()
+        assert all(r.energy_ratio > 1.0 for r in rows)
+
+    def test_level_mgmt_fraction_small(self):
+        """Paper: level management is ~6-7% of energy for both schemes."""
+        rows = fig12.run()
+        for r in rows:
+            assert r.bp_level_mgmt_fraction < 0.15
+            assert r.rns_level_mgmt_fraction < 0.15
+
+    def test_edp_improvement(self):
+        rows = fig12.run()
+        edp = common.gmean(r.edp_ratio for r in rows)
+        assert 1.5 < edp < 3.5  # paper: 2.53
+
+    def test_render(self):
+        assert "EDP" in fig12.render(fig12.run())
+
+
+class TestFig13:
+    def test_cpu_gain_modest(self):
+        """Paper: CPU speedup (~1.24x) far below accelerator (~1.59x)."""
+        cpu = common.gmean(r.ratio for r in fig13.run())
+        accel = common.gmean(r.ratio for r in fig11.run())
+        assert 1.05 < cpu < accel
+
+    def test_render(self):
+        assert "CPU" in fig13.render(fig13.run())
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return fig14.run(word_sizes=WORDS)
+
+    def test_bitpacker_flat(self, series):
+        """The paper's headline shape: BitPacker constant across words."""
+        for s in series:
+            assert s.bp_flatness < 1.25
+
+    def test_rns_uneven_and_slower(self, series):
+        for s in series:
+            assert all(
+                r >= b for r, b in zip(s.rns_ckks_ms, s.bitpacker_ms)
+            )
+
+    def test_render(self, series):
+        assert "word size" in fig14.render(series)
+
+
+class TestFig15:
+    def test_slowdowns_above_one(self):
+        rows = fig15.run(word_sizes=WORDS)
+        for r in rows:
+            assert r.min_slowdown >= 1.0
+            assert r.max_slowdown >= r.gmean_slowdown >= r.min_slowdown
+
+    def test_wide_words_worse(self):
+        rows = {r.word_bits: r for r in fig15.run(word_sizes=WORDS)}
+        assert rows[64].gmean_slowdown > rows[28].gmean_slowdown * 0.95
+
+
+class TestFig16:
+    def test_bp28_is_best_point(self):
+        rows = fig16.run(word_sizes=WORDS)
+        assert rows[0].bitpacker_norm == pytest.approx(1.0)
+        for r in rows:
+            assert r.rns_ckks_norm > r.bitpacker_norm
+        assert rows[-1].rns_ckks_norm > 1.5  # paper: ~2.5 at 64-bit
+
+    def test_bitpacker_trends_up_with_area(self):
+        rows = fig16.run(word_sizes=WORDS)
+        assert rows[-1].bitpacker_norm > rows[0].bitpacker_norm
+
+
+class TestFig17:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig17.run(sizes_mb=(150.0, 200.0, 256.0, 350.0))
+
+    def test_bitpacker_flat_to_200(self, rows):
+        by_mb = {r.register_file_mb: r for r in rows}
+        assert by_mb[200.0].bitpacker_norm < 1.25
+
+    def test_rns_cliff_steeper(self, rows):
+        by_mb = {r.register_file_mb: r for r in rows}
+        assert by_mb[150.0].rns_ckks_norm > by_mb[150.0].bitpacker_norm
+        assert by_mb[150.0].rns_ckks_norm > 2.0  # paper: >3x
+
+    def test_monotone_in_capacity(self, rows):
+        bp = [r.bitpacker_norm for r in rows]
+        rns = [r.rns_ckks_norm for r in rows]
+        assert bp == sorted(bp, reverse=True)
+        assert rns == sorted(rns, reverse=True)
+
+
+class TestSectionHarnesses:
+    def test_security_sweep(self):
+        rows = security.run()
+        assert {r.security_bits for r in rows} == {128, 80}
+        for r in rows:
+            assert r.gmean_speedup > 1.1  # benefits at both security levels
+        assert "80-bit" in security.render(rows)
+
+    def test_sharp_comparison(self):
+        rows = sharp.run()
+        g = common.gmean(r.speedup for r in rows)
+        assert g > 1.2  # paper: 1.43
+        assert "SHARP" in sharp.render(rows)
+
+    def test_area_reduction(self):
+        res = area_reduction.run()
+        assert res.paper_point.area_mm2 < res.baseline_area_mm2
+        # Our model's no-loss point must really be no-loss; the paper's
+        # 200 MB point may carry a small regression (see EXPERIMENTS.md).
+        assert res.no_loss_point.perf_regression < 1.03
+        assert res.paper_point.perf_regression < 1.25
+        assert res.no_loss_point.edap_improvement > 1.5  # paper: 3.0
+        assert "mm^2" in area_reduction.render(res)

@@ -1,0 +1,109 @@
+"""End-to-end integration: full programs through the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext
+from repro.ckks.bootstrap import BS26, FunctionalBootstrapper
+from repro.schemes import plan_bitpacker_chain, plan_rns_ckks_chain
+
+
+@pytest.mark.parametrize("scheme_planner", [plan_bitpacker_chain, plan_rns_ckks_chain])
+class TestDeepPrograms:
+    def test_mixed_scale_chain(self, scheme_planner, rng):
+        """Per-level target scales like a real program (app + bootstrap
+        stages): the planners must honor the full Fig. 8 map."""
+        targets = [30.0, 30.0, 35.0, 35.0, 40.0]
+        chain = scheme_planner(
+            n=256, word_bits=28, level_scale_bits=targets, base_bits=45.0,
+            ks_digits=2,
+        )
+        ctx = CkksContext(chain, seed=11)
+        vals = rng.uniform(-1, 1, ctx.slots)
+        ct = ctx.encrypt(vals)
+        ref = vals.astype(np.longdouble)
+        for _ in range(2):
+            ct = ctx.evaluator.square_rescale(ct)
+            ref = ref * ref
+        assert ctx.precision_bits(ct, ref) > 10
+
+    def test_bootstrap_then_continue(self, scheme_planner, rng):
+        chain = scheme_planner(
+            n=256, word_bits=28, level_scale_bits=30.0, levels=3,
+            base_bits=40.0, ks_digits=2,
+        )
+        ctx = CkksContext(chain, seed=13)
+        boot = FunctionalBootstrapper(ctx, BS26)
+        vals = rng.uniform(-0.9, 0.9, ctx.slots)
+        ct = ctx.encrypt(vals)
+        ref = vals.astype(np.longdouble)
+        for _round in range(2):  # two full level descents with a refresh
+            while ct.level > 0:
+                ct = ctx.evaluator.square_rescale(ct)
+                ref = ref * ref
+            ct = boot.bootstrap(ct)
+        assert ctx.precision_bits(ct, ref) > 8
+
+    def test_rotation_heavy_program(self, scheme_planner, rng):
+        """A matvec-style program: multiply, rotate-and-add, adjust."""
+        chain = scheme_planner(
+            n=256, word_bits=28, level_scale_bits=30.0, levels=3,
+            base_bits=40.0, ks_digits=2,
+        )
+        ctx = CkksContext(chain, seed=17)
+        ev = ctx.evaluator
+        vals = rng.uniform(-1, 1, ctx.slots)
+        weights = rng.uniform(-1, 1, ctx.slots)
+        ct = ev.rescale(ev.mul_plain(ctx.encrypt(vals), weights))
+        ref = (vals * weights).astype(np.longdouble)
+        acc, acc_ref = ct, ref
+        for shift in (1, 2, 4):
+            acc = ev.add(acc, ev.rotate(acc, shift))
+            acc_ref = acc_ref + np.roll(acc_ref, -shift)
+        # Combine with a freshly adjusted ciphertext (level realignment).
+        extra = ev.adjust(ctx.encrypt(vals), acc.level)
+        acc = ev.add(acc, extra)
+        acc_ref = acc_ref + vals
+        assert ctx.precision_bits(acc, acc_ref) > 9
+
+
+class TestSchemeAgreementDeep:
+    def test_identical_program_identical_results(self, rng):
+        """The same deep program under both schemes agrees to far below
+        the application's precision (Sec. 6.5)."""
+        results = []
+        for planner in (plan_bitpacker_chain, plan_rns_ckks_chain):
+            chain = planner(
+                n=256, word_bits=28, level_scale_bits=32.0, levels=4,
+                base_bits=45.0, ks_digits=2,
+            )
+            ctx = CkksContext(chain, seed=23)
+            local_rng = np.random.default_rng(99)
+            vals = local_rng.uniform(-1, 1, ctx.slots)
+            ev = ctx.evaluator
+            x = ctx.encrypt(vals)
+            y = ev.square_rescale(x)  # x^2
+            y = ev.add(y, ev.adjust(x, y.level))  # x^2 + x
+            y = ev.rescale(ev.mul_plain(y, 0.25))  # 0.25(x^2+x)
+            y = ev.add(y, ev.rotate(y, 1))  # + rotation
+            z = ev.square_rescale(y)
+            results.append(ctx.decrypt_real(z))
+        assert np.max(np.abs(results[0] - results[1])) < 2.0**-12
+
+    def test_residue_counts_differ_results_do_not(self, rng):
+        bp = plan_bitpacker_chain(
+            n=256, word_bits=28, level_scale_bits=22.0, levels=6,
+            base_bits=40.0, ks_digits=2,
+        )
+        rns = plan_rns_ckks_chain(
+            n=256, word_bits=28, level_scale_bits=22.0, levels=6,
+            base_bits=40.0, ks_digits=2,
+        )
+        assert bp.residues_at(6) < rns.residues_at(6)
+        vals = np.linspace(-1, 1, 128)
+        outs = []
+        for chain in (bp, rns):
+            ctx = CkksContext(chain, seed=31)
+            ct = ctx.evaluator.square_rescale(ctx.encrypt(vals))
+            outs.append(ctx.decrypt_real(ct))
+        assert np.max(np.abs(outs[0] - outs[1])) < 2.0**-8

@@ -1,0 +1,72 @@
+"""Unit tests for CRT reconstruction and centered representatives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.nt.crt import centered, centered_vector, crt_reconstruct, crt_reconstruct_vector
+
+MODULI = (257, 263, 269)
+
+
+class TestCrtReconstruct:
+    def test_round_trip(self):
+        from math import prod
+
+        big_q = prod(MODULI)
+        for x in (0, 1, 12345, big_q - 1, big_q // 2):
+            residues = [x % q for q in MODULI]
+            assert crt_reconstruct(residues, MODULI) == x
+
+    def test_single_modulus(self):
+        assert crt_reconstruct([5], [17]) == 5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            crt_reconstruct([1, 2], [3])
+
+    def test_vector_matches_scalar(self):
+        xs = [0, 5, 1000, 17000]
+        rows = [[x % q for x in xs] for q in MODULI]
+        got = crt_reconstruct_vector(rows, MODULI)
+        assert got == [crt_reconstruct([r[i] for r in rows], MODULI) for i in range(4)]
+
+
+class TestCentered:
+    def test_small_positive_stays(self):
+        assert centered(3, 17) == 3
+
+    def test_large_maps_negative(self):
+        assert centered(16, 17) == -1
+        assert centered(9, 17) == -8
+
+    def test_half_boundary(self):
+        # q//2 stays positive (representative range is (-q/2, q/2]).
+        assert centered(8, 17) == 8
+
+    def test_even_modulus_boundary(self):
+        assert centered(8, 16) == 8
+        assert centered(9, 16) == -7
+
+    def test_vector(self):
+        assert centered_vector([0, 1, 16, 9], 17) == [0, 1, -1, -8]
+
+    def test_unreduced_inputs(self):
+        assert centered(17 + 3, 17) == 3
+        assert centered(-1, 17) == -1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    x=st.integers(min_value=-(10**12), max_value=10**12),
+)
+def test_crt_centered_property(x):
+    """Property: centered CRT reconstruction inverts residue splitting."""
+    from math import prod
+
+    big_q = prod(MODULI)
+    residues = [x % q for q in MODULI]
+    rebuilt = crt_reconstruct(residues, MODULI)
+    assert rebuilt == x % big_q
+    assert centered(rebuilt, big_q) == ((x + big_q // 2) % big_q) - big_q // 2

@@ -1,0 +1,85 @@
+"""Unit tests for extended-precision float conversion helpers."""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nt.floatext import (
+    PI_LONGDOUBLE,
+    fraction_to_longdouble,
+    int_to_longdouble,
+    ints_to_longdouble,
+    longdouble_to_int,
+)
+
+
+class TestIntToLongdouble:
+    def test_small_exact(self):
+        for v in (0, 1, -1, 2**52, -(2**52)):
+            assert int_to_longdouble(v) == np.longdouble(v)
+
+    def test_63_bit_exact(self):
+        v = (1 << 62) + 12345
+        assert int(int_to_longdouble(v)) == v
+
+    def test_beyond_float64_precision(self):
+        """2^70 + 1 is not representable in float64 but must survive the
+        two-chunk longdouble path to within one part in 2^63."""
+        v = (1 << 70) + (1 << 10)
+        ld = int_to_longdouble(v)
+        assert abs(int(ld) - v) <= 1 << 7
+
+    def test_sign_symmetry(self):
+        v = (1 << 80) + 999
+        assert int_to_longdouble(-v) == -int_to_longdouble(v)
+
+    def test_huge_scale_values(self):
+        v = 1 << 1200  # the size of CKKS modulus products
+        ld = int_to_longdouble(v)
+        assert np.isfinite(ld)
+        assert abs(float(np.log2(ld)) - 1200) < 1e-9
+
+    def test_vector(self):
+        vals = [1, -5, 1 << 66]
+        arr = ints_to_longdouble(vals)
+        assert arr.dtype == np.longdouble
+        assert int(arr[0]) == 1 and int(arr[1]) == -5
+
+
+class TestFractionToLongdouble:
+    def test_integer_fraction(self):
+        assert fraction_to_longdouble(Fraction(1 << 45)) == np.longdouble(2.0) ** 45
+
+    def test_rational(self):
+        fr = Fraction(10**30 + 7, 10**15)
+        ld = fraction_to_longdouble(fr)
+        assert abs(float(ld) / 1e15 - 1.0) < 1e-12
+
+    def test_plain_numbers_pass_through(self):
+        assert fraction_to_longdouble(3) == np.longdouble(3)
+        assert fraction_to_longdouble(0.5) == np.longdouble(0.5)
+
+    def test_pi_more_precise_than_float64(self):
+        # PI_LONGDOUBLE must carry more bits than np.pi.
+        assert abs(float(PI_LONGDOUBLE - np.longdouble(np.pi))) < 1e-15
+        assert PI_LONGDOUBLE != np.longdouble(np.pi) or np.longdouble is np.float64
+
+
+class TestLongdoubleToInt:
+    def test_rounds_to_nearest(self):
+        assert longdouble_to_int(np.longdouble(2.4)) == 2
+        assert longdouble_to_int(np.longdouble(-2.6)) == -3
+
+
+@settings(max_examples=100, deadline=None)
+@given(v=st.integers(min_value=-(1 << 126), max_value=1 << 126))
+def test_int_roundtrip_precision_property(v):
+    """Property: conversion is accurate to ~2^-63 relative."""
+    ld = int_to_longdouble(v)
+    if v == 0:
+        assert ld == 0
+        return
+    err = abs(int(ld) - v)
+    assert err <= max(1, abs(v) >> 62)

@@ -1,0 +1,174 @@
+"""Unit and property tests for the three modular-arithmetic backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.nt import modmath
+
+# One representative modulus per backend: narrow uint64, wide
+# longdouble-assisted uint64, and big-int object arrays.
+NARROW_Q = 268435399  # < 2^31
+WIDE_Q = (1 << 55) - 55  # in [2^31, 2^61): wide path (prime not required)
+BIG_Q = (1 << 61) + 20 * 131072 + 1  # >= 2^61: object path
+BACKEND_MODULI = [NARROW_Q, WIDE_Q, BIG_Q]
+
+
+@pytest.mark.parametrize("q", BACKEND_MODULI)
+class TestBackends:
+    def _pair(self, q, rng):
+        a = modmath.uniform_mod(q, 64, rng)
+        b = modmath.uniform_mod(q, 64, rng)
+        return a, b
+
+    def test_dtype(self, q):
+        expected = object if q >= modmath.BIG_MODULUS_THRESHOLD else np.uint64
+        assert modmath.dtype_for_modulus(q) is expected
+
+    def test_add_matches_bigint(self, q, rng=None):
+        rng = np.random.default_rng(1)
+        a, b = self._pair(q, rng)
+        got = modmath.mod_add(a, b, q)
+        assert [int(v) for v in got] == [
+            (int(x) + int(y)) % q for x, y in zip(a, b)
+        ]
+
+    def test_sub_matches_bigint(self, q):
+        rng = np.random.default_rng(2)
+        a, b = self._pair(q, rng)
+        got = modmath.mod_sub(a, b, q)
+        assert [int(v) for v in got] == [
+            (int(x) - int(y)) % q for x, y in zip(a, b)
+        ]
+
+    def test_mul_matches_bigint(self, q):
+        rng = np.random.default_rng(3)
+        a, b = self._pair(q, rng)
+        got = modmath.mod_mul(a, b, q)
+        assert [int(v) for v in got] == [
+            (int(x) * int(y)) % q for x, y in zip(a, b)
+        ]
+
+    def test_neg(self, q):
+        rng = np.random.default_rng(4)
+        a, _ = self._pair(q, rng)
+        got = modmath.mod_neg(a, q)
+        assert [int(v) for v in got] == [(-int(x)) % q for x in a]
+        # neg(0) must stay 0, not become q
+        zero = modmath.zeros(4, q)
+        assert [int(v) for v in modmath.mod_neg(zero, q)] == [0, 0, 0, 0]
+
+    def test_scalar_mul(self, q):
+        rng = np.random.default_rng(5)
+        a, _ = self._pair(q, rng)
+        k = q - 3
+        got = modmath.mod_scalar_mul(a, k, q)
+        assert [int(v) for v in got] == [int(x) * k % q for x in a]
+
+    def test_edge_values(self, q):
+        edge = modmath.as_mod_array([q - 1, q - 1, 1, 0], q)
+        got = modmath.mod_mul(edge, edge, q)
+        expect = [(q - 1) * (q - 1) % q, (q - 1) * (q - 1) % q, 1, 0]
+        assert [int(v) for v in got] == expect
+
+    def test_inputs_not_mutated(self, q):
+        rng = np.random.default_rng(6)
+        a, b = self._pair(q, rng)
+        a_copy = [int(v) for v in a]
+        modmath.mod_add(a, b, q)
+        modmath.mod_mul(a, b, q)
+        modmath.mod_neg(a, q)
+        assert [int(v) for v in a] == a_copy
+
+    def test_as_mod_array_reduces_negatives(self, q):
+        got = modmath.as_mod_array([-1, -q, q + 5], q)
+        assert [int(v) for v in got] == [q - 1, 0, 5]
+
+    def test_uniform_range(self, q):
+        rng = np.random.default_rng(7)
+        samples = modmath.uniform_mod(q, 500, rng)
+        assert all(0 <= int(v) < q for v in samples)
+
+
+class TestModInv:
+    def test_inverse(self):
+        q = NARROW_Q
+        for x in (1, 2, 12345, q - 1):
+            inv = modmath.mod_inv(x, q)
+            assert x * inv % q == 1
+
+    def test_non_invertible_raises(self):
+        with pytest.raises(ParameterError):
+            modmath.mod_inv(6, 9)
+
+    def test_composite_modulus_ok_when_coprime(self):
+        assert 4 * modmath.mod_inv(4, 9) % 9 == 1
+
+
+class TestWideMulmodBoundaries:
+    """The longdouble-assisted path must be exact at its extremes."""
+
+    @pytest.mark.parametrize("bits", [31, 32, 40, 48, 55, 59, 60])
+    def test_near_threshold_moduli(self, bits):
+        q = (1 << bits) - 1
+        while not _coprime_ok(q):
+            q -= 2
+        vals = [q - 1, q - 2, q // 2, q // 2 + 1, 1, 0, 2, 3]
+        a = modmath.as_mod_array(vals, q)
+        b = modmath.as_mod_array(list(reversed(vals)), q)
+        got = modmath.mod_mul(a, b, q)
+        assert [int(v) for v in got] == [
+            int(x) * int(y) % q for x, y in zip(a, b)
+        ]
+
+    def test_rejects_above_64_bits(self):
+        with pytest.raises(ParameterError):
+            modmath.dtype_for_modulus(1 << 64)
+
+
+def _coprime_ok(q):
+    return q % 2 == 1 and q > 2
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    bits=st.integers(min_value=20, max_value=63),
+    data=st.data(),
+)
+def test_mulmod_property(bits, data):
+    """Property: every backend's mod_mul agrees with Python big ints."""
+    q = (1 << bits) - data.draw(st.integers(min_value=1, max_value=1 << 10))
+    if q < 3:
+        q = 3
+    xs = data.draw(
+        st.lists(st.integers(min_value=0, max_value=q - 1), min_size=1, max_size=8)
+    )
+    ys = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=q - 1),
+            min_size=len(xs),
+            max_size=len(xs),
+        )
+    )
+    a = modmath.as_mod_array(xs, q)
+    b = modmath.as_mod_array(ys, q)
+    got = modmath.mod_mul(a, b, q)
+    assert [int(v) for v in got] == [x * y % q for x, y in zip(xs, ys)]
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    bits=st.integers(min_value=10, max_value=62),
+    k=st.integers(min_value=-(1 << 70), max_value=1 << 70),
+    data=st.data(),
+)
+def test_scalar_mul_property(bits, k, data):
+    q = (1 << bits) + 1
+    xs = data.draw(
+        st.lists(st.integers(min_value=0, max_value=q - 1), min_size=1, max_size=6)
+    )
+    a = modmath.as_mod_array(xs, q)
+    got = modmath.mod_scalar_mul(a, k, q)
+    assert [int(v) for v in got] == [x * k % q for x in xs]

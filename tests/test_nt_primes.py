@@ -1,0 +1,139 @@
+"""Unit tests for primality and NTT-friendly prime enumeration."""
+
+from itertools import islice
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.nt import primes
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 101, 7919):
+            assert primes.is_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 6, 9, 15, 91, 561, 7917):
+            assert not primes.is_prime(c)
+
+    def test_carmichael_numbers_rejected(self):
+        # Fermat pseudoprimes that fool weak tests.
+        for c in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041):
+            assert not primes.is_prime(c)
+
+    def test_large_known_prime(self):
+        assert primes.is_prime((1 << 61) - 1)  # Mersenne prime M61
+
+    def test_large_known_composite(self):
+        assert not primes.is_prime((1 << 61) - 3)
+
+    def test_known_ntt_prime(self):
+        # 786433 = 3 * 2^18 + 1, the smallest prime ≡ 1 mod 2^17.
+        assert primes.is_prime(786433)
+
+    def test_negative(self):
+        assert not primes.is_prime(-7)
+
+
+class TestNttFriendly:
+    def test_congruence_requirement(self):
+        n = 64
+        for p in islice(primes.ntt_friendly_primes_below(1 << 20, n), 10):
+            assert p % (2 * n) == 1
+            assert primes.is_prime(p)
+
+    def test_descending_order(self):
+        got = list(islice(primes.ntt_friendly_primes_below(1 << 24, 128), 8))
+        assert got == sorted(got, reverse=True)
+
+    def test_ascending_order(self):
+        got = list(islice(primes.ntt_friendly_primes_above(1 << 16, 128), 8))
+        assert got == sorted(got)
+
+    def test_above_below_consistency(self):
+        n = 64
+        below = set(primes.all_ntt_friendly_primes(20, n))
+        above = set()
+        for p in primes.ntt_friendly_primes_above(2 * n + 1, n):
+            if p >= 1 << 20:
+                break
+            above.add(p)
+        assert below == above
+
+    def test_is_ntt_friendly(self):
+        assert primes.is_ntt_friendly(786433, 65536)
+        assert not primes.is_ntt_friendly(786433 + 2, 65536)
+        assert not primes.is_ntt_friendly(131073, 65536)  # 3 * 43691
+
+    def test_bad_degree_rejected(self):
+        with pytest.raises(ParameterError):
+            next(primes.ntt_friendly_primes_below(1 << 20, 100))
+
+
+class TestExhaustiveEnumeration:
+    def test_matches_generator(self):
+        n = 128
+        exhaustive = primes.all_ntt_friendly_primes(20, n)
+        walked = sorted(
+            p for p in primes.ntt_friendly_primes_below(1 << 20, n)
+        )
+        assert list(exhaustive) == walked
+
+    def test_paper_count_order_of_magnitude(self):
+        """Paper Sec. 3.3: with N = 2^16 and w = 28 there are only a few
+        hundred NTT-friendly primes (the paper counts 244)."""
+        count = len(primes.all_ntt_friendly_primes(28, 65536))
+        assert 100 < count < 400
+
+    def test_min_prime_lower_bound(self):
+        """All NTT-friendly primes exceed 2N (paper Sec. 3.3)."""
+        n = 65536
+        smallest = primes.all_ntt_friendly_primes(28, n)[0]
+        assert smallest > 2 * n
+
+    def test_refuses_wide_exhaustive(self):
+        with pytest.raises(ParameterError):
+            primes.all_ntt_friendly_primes(60, 1024)
+
+
+class TestTerminalCandidates:
+    def test_narrow_words_exhaustive(self):
+        n = 1024
+        assert primes.terminal_prime_candidates(24, n) == (
+            primes.all_ntt_friendly_primes(24, n)
+        )
+
+    def test_wide_words_sampled(self):
+        cands = primes.terminal_prime_candidates(50, 1024, count=100)
+        assert 30 < len(cands) <= 110
+        assert all(primes.is_ntt_friendly(p, 1024) for p in cands)
+        assert all(p < 1 << 50 for p in cands)
+        assert list(cands) == sorted(cands)
+
+    def test_min_bits_filter(self):
+        cands = primes.terminal_prime_candidates(24, 1024, min_bits=20)
+        assert all(p >= 1 << 20 for p in cands)
+
+
+class TestLargestAndNearest:
+    def test_largest_below_word(self):
+        got = primes.largest_ntt_friendly_primes(28, 256, 5)
+        assert len(got) == 5
+        assert got == tuple(sorted(got, reverse=True))
+        assert all(p < 1 << 28 for p in got)
+        # Packed: the largest should be within ~1.5 bits of the word.
+        assert got[0] > 1 << 26
+
+    def test_primes_near(self):
+        target = 1 << 22
+        got = primes.primes_near(target, 256, count=3)
+        assert len(set(got)) == 3
+        for p in got:
+            assert primes.is_ntt_friendly(p, 256)
+
+    def test_distinct_primes_near_skips_taken(self):
+        target = 1 << 22
+        first = primes.distinct_primes_near(target, 256, 2, ())
+        second = primes.distinct_primes_near(target, 256, 2, first)
+        assert not set(first) & set(second)

@@ -1,0 +1,166 @@
+"""Unit tests for base conversion and scale-up/scale-down (Listings 3, 5)."""
+
+from fractions import Fraction
+from itertools import islice
+from math import prod
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.nt.primes import ntt_friendly_primes_below
+from repro.rns.basis import RnsBasis
+from repro.rns.convert import base_convert, drop_moduli, scale_down, scale_up
+from repro.rns.poly import RnsPolynomial
+
+N = 32
+SRC_MODULI = tuple(islice(ntt_friendly_primes_below(1 << 26, N), 3))
+DST_MODULI = tuple(islice(ntt_friendly_primes_below(1 << 24, N), 2))
+WIDE_MODULI = tuple(islice(ntt_friendly_primes_below(1 << 58, N), 2))
+
+
+def _poly(coeffs, moduli=SRC_MODULI):
+    return RnsPolynomial.from_int_coeffs(RnsBasis(N, moduli), coeffs)
+
+
+class TestBaseConvert:
+    def test_centered_exact_for_small_values(self, rng):
+        coeffs = [int(v) for v in rng.integers(-(10**6), 10**6, N)]
+        conv = base_convert(_poly(coeffs), DST_MODULI)
+        for p, row in zip(DST_MODULI, conv.rows):
+            assert [int(v) for v in row] == [c % p for c in coeffs]
+
+    def test_near_half_modulus_values(self):
+        """Values close to (but, per the documented float-boundary
+        exclusion, not exactly at) the +-Q/2 extremes."""
+        big_q = prod(SRC_MODULI)
+        margin = big_q // 100
+        coeffs = [
+            big_q // 2 - margin,
+            -(big_q // 2) + margin,
+            big_q // 3,
+            -(big_q // 3),
+        ] + [0] * (N - 4)
+        conv = base_convert(_poly(coeffs), DST_MODULI)
+        for p, row in zip(DST_MODULI, conv.rows):
+            assert [int(v) for v in row] == [c % p for c in coeffs]
+
+    def test_wide_moduli_path(self, rng):
+        coeffs = [int(v) for v in rng.integers(-(10**9), 10**9, N)]
+        poly = _poly(coeffs, WIDE_MODULI)
+        conv = base_convert(poly, SRC_MODULI)
+        for p, row in zip(SRC_MODULI, conv.rows):
+            assert [int(v) for v in row] == [c % p for c in coeffs]
+
+    def test_approximate_mode_off_by_multiple_of_q(self, rng):
+        coeffs = [int(v) for v in rng.integers(-(10**6), 10**6, N)]
+        poly = _poly(coeffs)
+        big_q = prod(SRC_MODULI)
+        conv = base_convert(poly, DST_MODULI, exact=False)
+        for p, row in zip(DST_MODULI, conv.rows):
+            for got, c in zip(row, coeffs):
+                # Approximate conversion is off by alpha * Q, 0 <= alpha < R.
+                diff = (int(got) - c) % p
+                assert any(
+                    diff == (alpha * big_q) % p for alpha in range(len(SRC_MODULI) + 1)
+                )
+
+    def test_requires_coeff_domain(self, rng):
+        coeffs = [int(v) for v in rng.integers(0, 100, N)]
+        with pytest.raises(ParameterError):
+            base_convert(_poly(coeffs).to_ntt(), DST_MODULI)
+
+
+class TestScaleUp:
+    def test_multiplies_by_product(self, rng):
+        coeffs = [int(v) for v in rng.integers(-1000, 1000, N)]
+        up = scale_up(_poly(coeffs), DST_MODULI)
+        k = prod(DST_MODULI)
+        assert up.to_int_coeffs() == [c * k for c in coeffs]
+
+    def test_new_rows_are_zero(self, rng):
+        coeffs = [int(v) for v in rng.integers(-1000, 1000, N)]
+        up = scale_up(_poly(coeffs), DST_MODULI)
+        for q in DST_MODULI:
+            assert all(int(v) == 0 for v in up.row(q))
+
+    def test_works_in_ntt_domain(self, rng):
+        coeffs = [int(v) for v in rng.integers(-1000, 1000, N)]
+        up = scale_up(_poly(coeffs).to_ntt(), DST_MODULI)
+        k = prod(DST_MODULI)
+        assert up.to_int_coeffs() == [c * k for c in coeffs]
+
+    def test_duplicate_modulus_rejected(self, rng):
+        coeffs = [int(v) for v in rng.integers(0, 10, N)]
+        with pytest.raises(ParameterError):
+            scale_up(_poly(coeffs), [SRC_MODULI[0]])
+
+
+class TestScaleDown:
+    def test_inverts_scale_up(self, rng):
+        coeffs = [int(v) for v in rng.integers(-(10**6), 10**6, N)]
+        up = scale_up(_poly(coeffs), DST_MODULI)
+        down = scale_down(up.to_coeff(), DST_MODULI)
+        assert down.to_int_coeffs() == coeffs
+
+    def test_rounds_to_nearest(self, rng):
+        coeffs = [int(v) for v in rng.integers(-(10**9), 10**9, N)]
+        p = SRC_MODULI[-1]
+        down = scale_down(_poly(coeffs), [p])
+        for got, c in zip(down.to_int_coeffs(), coeffs):
+            # Exact nearest-integer division (ties may go either way).
+            assert abs(got * p - c) <= (p + 1) // 2
+
+    def test_multi_modulus_single_pass(self, rng):
+        """Listing 5's claim: shedding k moduli at once equals shedding
+        them one at a time (up to rounding of intermediate steps)."""
+        coeffs = [int(v) for v in rng.integers(-(10**7), 10**7, N)]
+        both = scale_down(_poly(coeffs), list(SRC_MODULI[1:]))
+        p = prod(SRC_MODULI[1:])
+        for got, c in zip(both.to_int_coeffs(), coeffs):
+            assert abs(got * p - c) <= (p + 1) // 2 + p // 4
+
+    def test_cannot_shed_everything(self, rng):
+        coeffs = [int(v) for v in rng.integers(0, 10, N)]
+        with pytest.raises(ParameterError):
+            scale_down(_poly(coeffs), list(SRC_MODULI))
+
+    def test_empty_shed_is_identity(self, rng):
+        coeffs = [int(v) for v in rng.integers(0, 10, N)]
+        poly = _poly(coeffs)
+        assert scale_down(poly, []).to_int_coeffs() == coeffs
+
+    def test_requires_coeff_domain(self, rng):
+        coeffs = [int(v) for v in rng.integers(0, 10, N)]
+        with pytest.raises(ParameterError):
+            scale_down(_poly(coeffs).to_ntt(), [SRC_MODULI[-1]])
+
+
+class TestDropModuli:
+    def test_preserves_small_values(self, rng):
+        coeffs = [int(v) for v in rng.integers(-1000, 1000, N)]
+        dropped = drop_moduli(_poly(coeffs), [SRC_MODULI[-1]])
+        assert dropped.to_int_coeffs() == coeffs
+        assert dropped.basis.moduli == SRC_MODULI[:-1]
+
+    def test_missing_modulus_rejected(self, rng):
+        coeffs = [int(v) for v in rng.integers(0, 10, N)]
+        with pytest.raises(ParameterError):
+            drop_moduli(_poly(coeffs), [999983])
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_scale_up_down_round_trip_property(data):
+    """Property: scale_down(scale_up(x, qs), qs) == x exactly."""
+    n = 8
+    src = tuple(islice(ntt_friendly_primes_below(1 << 24, n), 2))
+    extra = tuple(islice(ntt_friendly_primes_below(1 << 20, n), 2))
+    coeffs = data.draw(
+        st.lists(st.integers(-(10**5), 10**5), min_size=n, max_size=n)
+    )
+    poly = RnsPolynomial.from_int_coeffs(RnsBasis(n, src), coeffs)
+    up = scale_up(poly, extra)
+    down = scale_down(up.to_coeff(), extra)
+    assert down.to_int_coeffs() == coeffs

@@ -1,0 +1,222 @@
+"""Unit tests for RNS bases and polynomials against big-int oracles."""
+
+from itertools import islice
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError, ScaleMismatchError
+from repro.nt.primes import ntt_friendly_primes_below
+from repro.rns.basis import RnsBasis, crt_weights
+from repro.rns.poly import COEFF, NTT, RnsPolynomial
+
+N = 32
+MODULI = tuple(islice(ntt_friendly_primes_below(1 << 26, N), 3)) + tuple(
+    islice(ntt_friendly_primes_below(1 << 62, N), 1)
+)
+
+
+@pytest.fixture()
+def basis():
+    return RnsBasis(N, MODULI)
+
+
+def _rand_coeffs(rng, magnitude=10**6):
+    return [int(v) for v in rng.integers(-magnitude, magnitude, N)]
+
+
+class TestBasis:
+    def test_product(self, basis):
+        from math import prod
+
+        assert basis.product == prod(MODULI)
+
+    def test_log2_product(self, basis):
+        import math
+
+        expect = sum(math.log2(q) for q in MODULI)
+        assert abs(basis.log2_product - expect) < 1e-6
+
+    def test_duplicate_moduli_rejected(self):
+        with pytest.raises(ParameterError):
+            RnsBasis(N, (17, 17))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            RnsBasis(N, ())
+
+    def test_extended_and_without(self, basis):
+        extra = next(ntt_friendly_primes_below(1 << 20, N))
+        bigger = basis.extended([extra])
+        assert bigger.size == basis.size + 1
+        assert bigger.without([extra]) == basis
+
+    def test_without_missing_rejected(self, basis):
+        with pytest.raises(ParameterError):
+            basis.without([999983])
+
+    def test_hash_and_equality(self, basis):
+        again = RnsBasis(N, MODULI)
+        assert basis == again
+        assert hash(basis) == hash(again)
+        assert basis != RnsBasis(N, MODULI[:2])
+
+    def test_crt_weights_identity(self, basis):
+        q_hat_inv, q_hat = crt_weights(basis)
+        for inv, hat, q in zip(q_hat_inv, q_hat, basis.moduli):
+            assert hat * inv % q == 1
+            assert hat == basis.product // q
+
+
+class TestPolynomialRoundTrips:
+    def test_int_coeff_round_trip(self, basis, rng):
+        coeffs = _rand_coeffs(rng)
+        poly = RnsPolynomial.from_int_coeffs(basis, coeffs)
+        assert poly.to_int_coeffs() == coeffs
+
+    def test_ntt_round_trip(self, basis, rng):
+        coeffs = _rand_coeffs(rng)
+        poly = RnsPolynomial.from_int_coeffs(basis, coeffs)
+        assert poly.to_ntt().to_coeff().to_int_coeffs() == coeffs
+
+    def test_to_ntt_idempotent(self, basis, rng):
+        poly = RnsPolynomial.from_int_coeffs(basis, _rand_coeffs(rng))
+        once = poly.to_ntt()
+        assert once.to_ntt() is once
+
+    def test_zeros(self, basis):
+        z = RnsPolynomial.zeros(basis)
+        assert z.to_int_coeffs() == [0] * N
+
+    def test_wrong_length_rejected(self, basis):
+        with pytest.raises(ParameterError):
+            RnsPolynomial.from_int_coeffs(basis, [1, 2, 3])
+
+
+class TestArithmetic:
+    def test_add_sub_neg(self, basis, rng):
+        a_coeffs, b_coeffs = _rand_coeffs(rng), _rand_coeffs(rng)
+        a = RnsPolynomial.from_int_coeffs(basis, a_coeffs)
+        b = RnsPolynomial.from_int_coeffs(basis, b_coeffs)
+        assert a.add(b).to_int_coeffs() == [
+            x + y for x, y in zip(a_coeffs, b_coeffs)
+        ]
+        assert a.sub(b).to_int_coeffs() == [
+            x - y for x, y in zip(a_coeffs, b_coeffs)
+        ]
+        assert a.neg().to_int_coeffs() == [-x for x in a_coeffs]
+
+    def test_scalar_mul(self, basis, rng):
+        coeffs = _rand_coeffs(rng, magnitude=1000)
+        a = RnsPolynomial.from_int_coeffs(basis, coeffs)
+        assert a.scalar_mul(37).to_int_coeffs() == [37 * c for c in coeffs]
+
+    def test_poly_mul_matches_bigint_negacyclic(self, basis, rng):
+        a_coeffs = _rand_coeffs(rng, magnitude=1000)
+        b_coeffs = _rand_coeffs(rng, magnitude=1000)
+        a = RnsPolynomial.from_int_coeffs(basis, a_coeffs)
+        b = RnsPolynomial.from_int_coeffs(basis, b_coeffs)
+        got = a.poly_mul(b).to_int_coeffs()
+        ref = [0] * N
+        for i in range(N):
+            for j in range(N):
+                k = i + j
+                if k < N:
+                    ref[k] += a_coeffs[i] * b_coeffs[j]
+                else:
+                    ref[k - N] -= a_coeffs[i] * b_coeffs[j]
+        assert got == ref
+
+    def test_domain_mismatch_rejected(self, basis, rng):
+        a = RnsPolynomial.from_int_coeffs(basis, _rand_coeffs(rng))
+        with pytest.raises(ScaleMismatchError):
+            a.add(a.to_ntt())
+
+    def test_basis_mismatch_rejected(self, basis, rng):
+        a = RnsPolynomial.from_int_coeffs(basis, _rand_coeffs(rng))
+        other = a.restricted(basis.moduli[:2])
+        with pytest.raises(ScaleMismatchError):
+            a.add(other)
+
+    def test_pointwise_requires_ntt(self, basis, rng):
+        a = RnsPolynomial.from_int_coeffs(basis, _rand_coeffs(rng))
+        with pytest.raises(ParameterError):
+            a.pointwise_mul(a)
+
+
+class TestGalois:
+    def test_galois_matches_reference(self, basis, rng):
+        coeffs = _rand_coeffs(rng)
+        poly = RnsPolynomial.from_int_coeffs(basis, coeffs)
+        g = 5
+        got = poly.galois(g).to_int_coeffs()
+        ref = [0] * N
+        for j, c in enumerate(coeffs):
+            t = j * g % (2 * N)
+            if t < N:
+                ref[t] += c
+            else:
+                ref[t - N] -= c
+        assert got == ref
+
+    def test_galois_identity(self, basis, rng):
+        poly = RnsPolynomial.from_int_coeffs(basis, _rand_coeffs(rng))
+        assert poly.galois(1).to_int_coeffs() == poly.to_int_coeffs()
+
+    def test_galois_composition(self, basis, rng):
+        poly = RnsPolynomial.from_int_coeffs(basis, _rand_coeffs(rng))
+        lhs = poly.galois(5).galois(5)
+        rhs = poly.galois(25)
+        assert lhs.to_int_coeffs() == rhs.to_int_coeffs()
+
+    def test_even_galois_rejected(self, basis, rng):
+        poly = RnsPolynomial.from_int_coeffs(basis, _rand_coeffs(rng))
+        with pytest.raises(ParameterError):
+            poly.galois(4)
+
+    def test_galois_requires_coeff_domain(self, basis, rng):
+        poly = RnsPolynomial.from_int_coeffs(basis, _rand_coeffs(rng))
+        with pytest.raises(ParameterError):
+            poly.to_ntt().galois(5)
+
+
+class TestRestriction:
+    def test_restricted_reorders_rows(self, basis, rng):
+        poly = RnsPolynomial.from_int_coeffs(basis, _rand_coeffs(rng))
+        rev = tuple(reversed(basis.moduli))
+        restricted = poly.restricted(rev)
+        assert restricted.basis.moduli == rev
+        for q in rev:
+            assert [int(v) for v in restricted.row(q)] == [
+                int(v) for v in poly.row(q)
+            ]
+
+    def test_restricted_drops_value_mod_smaller_q(self, basis, rng):
+        coeffs = _rand_coeffs(rng, magnitude=100)
+        poly = RnsPolynomial.from_int_coeffs(basis, coeffs)
+        sub = poly.restricted(basis.moduli[:2])
+        assert sub.to_int_coeffs() == coeffs  # small values survive
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_add_mul_distributivity_property(data):
+    """Property: a*(b + c) == a*b + a*c in the RNS ring."""
+    rng_vals = st.integers(min_value=-500, max_value=500)
+    n = 8
+    moduli = tuple(islice(ntt_friendly_primes_below(1 << 24, n), 2))
+    basis = RnsBasis(n, moduli)
+    a = RnsPolynomial.from_int_coeffs(
+        basis, data.draw(st.lists(rng_vals, min_size=n, max_size=n))
+    )
+    b = RnsPolynomial.from_int_coeffs(
+        basis, data.draw(st.lists(rng_vals, min_size=n, max_size=n))
+    )
+    c = RnsPolynomial.from_int_coeffs(
+        basis, data.draw(st.lists(rng_vals, min_size=n, max_size=n))
+    )
+    lhs = a.poly_mul(b.add(c))
+    rhs = a.poly_mul(b).add(a.poly_mul(c))
+    assert lhs.to_int_coeffs() == rhs.to_int_coeffs()

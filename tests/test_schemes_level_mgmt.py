@@ -1,0 +1,123 @@
+"""Numeric tests of rescale/adjust for both chains (paper Listings 1-6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LevelExhaustedError, ParameterError
+from tests.conftest import make_values
+
+
+class TestRescale:
+    def test_rescale_divides_scale(self, ctx, rng):
+        a = make_values(ctx, rng)
+        sq = ctx.evaluator.square(ctx.encrypt(a))
+        rs = ctx.evaluator.rescale(sq)
+        assert rs.level == sq.level - 1
+        # After rescale the scale matches the level's canonical scale.
+        assert rs.scale == ctx.chain.scale_at(rs.level)
+
+    def test_rescale_changes_basis_to_chain_level(self, ctx, rng):
+        a = make_values(ctx, rng)
+        rs = ctx.evaluator.square_rescale(ctx.encrypt(a))
+        assert rs.moduli == ctx.chain.moduli_at(rs.level)
+
+    def test_rescale_below_zero_rejected(self, ctx, rng):
+        a = make_values(ctx, rng)
+        ct = ctx.encrypt(a, level=0)
+        with pytest.raises(LevelExhaustedError):
+            ctx.evaluator.rescale(ct)
+
+    def test_rescale_reduces_residues_or_keeps(self, ctx, rng):
+        a = make_values(ctx, rng)
+        ct = ctx.encrypt(a)
+        rs = ctx.evaluator.square_rescale(ct)
+        assert rs.residue_count <= ct.residue_count
+
+    def test_chained_rescales_stay_canonical(self, ctx, rng):
+        a = make_values(ctx, rng) * 0.5
+        ct = ctx.encrypt(a)
+        while ct.level > 0:
+            ct = ctx.evaluator.square_rescale(ct)
+            assert ct.scale == ctx.chain.scale_at(ct.level)
+            assert ct.moduli == ctx.chain.moduli_at(ct.level)
+
+
+class TestAdjust:
+    def test_adjust_one_level(self, ctx, rng):
+        a = make_values(ctx, rng)
+        ct = ctx.encrypt(a)
+        adj = ctx.evaluator.adjust(ct, ct.level - 1)
+        assert adj.level == ct.level - 1
+        assert ctx.precision_bits(adj, a) > 10
+
+    def test_adjust_multiple_levels(self, ctx, rng):
+        a = make_values(ctx, rng)
+        ct = ctx.encrypt(a)
+        adj = ctx.evaluator.adjust(ct, 0)
+        assert adj.level == 0
+        assert ctx.precision_bits(adj, a) > 10
+
+    def test_adjust_same_level_is_identity(self, ctx, rng):
+        a = make_values(ctx, rng)
+        ct = ctx.encrypt(a)
+        assert ctx.evaluator.adjust(ct, ct.level) is ct
+
+    def test_adjust_upward_rejected(self, ctx, rng):
+        a = make_values(ctx, rng)
+        ct = ctx.encrypt(a, level=1)
+        with pytest.raises(ParameterError):
+            ctx.evaluator.adjust(ct, 2)
+
+    def test_adjusted_addable_with_rescaled(self, ctx, rng):
+        """Kim et al.'s invariant: adjust output scale matches rescaled
+        products at the same level, so they can be added directly."""
+        a = make_values(ctx, rng)
+        x = ctx.encrypt(a)
+        sq = ctx.evaluator.square_rescale(x)
+        adj = ctx.evaluator.adjust(x, sq.level)
+        total = ctx.evaluator.add(sq, adj)  # must not raise
+        assert ctx.precision_bits(total, a * a + a) > 10
+
+    def test_adjust_to_bottom_then_operate(self, ctx, rng):
+        a = make_values(ctx, rng)
+        ct = ctx.evaluator.adjust(ctx.encrypt(a), 1)
+        sq = ctx.evaluator.square_rescale(ct)
+        assert sq.level == 0
+        assert ctx.precision_bits(sq, a * a) > 10
+
+    def test_adjust_precision_close_to_rescale_precision(self, ctx, rng):
+        """Fig. 19's claim: adjust error is comparable to rescale error."""
+        a = make_values(ctx, rng)
+        x = ctx.encrypt(a)
+        adj_prec = ctx.precision_bits(
+            ctx.evaluator.adjust(x, x.level - 1), a
+        )
+        sq_prec = ctx.precision_bits(
+            ctx.evaluator.square_rescale(ctx.encrypt(a)), a * a
+        )
+        assert abs(adj_prec - sq_prec) < 6.0
+
+
+class TestCrossSchemeEquivalence:
+    """BitPacker and RNS-CKKS must produce the same results."""
+
+    def test_same_program_same_answers(self, bp_ctx, rns_ctx, rng):
+        vals = rng.uniform(-1, 1, bp_ctx.slots)
+        results = []
+        for c in (bp_ctx, rns_ctx):
+            x = c.encrypt(vals)
+            y = c.evaluator.square_rescale(x)
+            y = c.evaluator.add(y, c.evaluator.adjust(x, y.level))
+            y = c.evaluator.rescale(c.evaluator.mul_plain(y, 0.5))
+            results.append(c.decrypt_real(y))
+        diff = np.max(np.abs(results[0] - results[1]))
+        assert diff < 2.0**-10
+
+    def test_precision_parity(self, bp_ctx, rns_ctx, rng):
+        """Sec. 6.5: BitPacker does not lose precision vs RNS-CKKS."""
+        vals = rng.uniform(-1, 1, bp_ctx.slots)
+        precisions = {}
+        for name, c in (("bp", bp_ctx), ("rns", rns_ctx)):
+            ct = c.evaluator.square_rescale(c.encrypt(vals))
+            precisions[name] = c.precision_bits(ct, vals**2)
+        assert abs(precisions["bp"] - precisions["rns"]) < 4.0
