@@ -16,6 +16,13 @@ single prime ``q``.  Three backends sit behind one API:
   ints, exact for any modulus width up to the 64-bit words the paper
   sweeps.
 
+Every elementwise function accepts ``q`` either as a plain int (one
+modulus for the whole array) or as a ``uint64`` ndarray broadcastable
+against the operands — typically a ``(k, 1)`` column so a whole stacked
+``(k, n)`` residue matrix is reduced against per-row moduli in a single
+numpy call.  Array moduli must all live on the same backend (the caller
+groups rows by :func:`backend_kind`); dispatch uses the largest modulus.
+
 All functions are pure: they never mutate their inputs.
 """
 
@@ -24,6 +31,34 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ParameterError
+
+
+def _tune_allocator() -> None:
+    """Raise glibc malloc's mmap/trim thresholds (Linux-only, best effort).
+
+    The vectorized kernels allocate and free multi-hundred-KB numpy
+    temporaries at a very high rate.  With glibc's default 128 KB mmap
+    threshold each of those comes from a fresh ``mmap`` and is returned
+    on free, so every temporary pays page-fault-and-zero cost; measured
+    here, that made a ``(4, 2^14)`` ``mod_sub`` ~3x slower than the same
+    arithmetic on recycled buffers.  Raising the thresholds keeps the
+    buffers in the arena free lists.  Set ``REPRO_NO_MALLOPT=1`` to skip.
+    """
+    import ctypes
+    import os
+    import sys
+
+    if os.environ.get("REPRO_NO_MALLOPT") or not sys.platform.startswith("linux"):
+        return
+    try:
+        libc = ctypes.CDLL("libc.so.6")
+        libc.mallopt(-3, 1 << 26)  # M_MMAP_THRESHOLD
+        libc.mallopt(-1, 1 << 26)  # M_TRIM_THRESHOLD
+    except Exception:
+        pass
+
+
+_tune_allocator()
 
 #: Moduli at or above this bound fall back to exact Python-int arrays.
 BIG_MODULUS_THRESHOLD = 1 << 61
@@ -41,6 +76,33 @@ def dtype_for_modulus(q: int):
             f"moduli above 64 bits are unsupported, got {q.bit_length()} bits"
         )
     return np.uint64 if q < BIG_MODULUS_THRESHOLD else object
+
+
+def backend_kind(q: int) -> str:
+    """Which of the three backends serves modulus ``q``.
+
+    ``"narrow"`` (products fit uint64), ``"wide"`` (Barrett-style float
+    correction), or ``"big"`` (Python-int object arrays).  Rows whose
+    moduli share a kind can be stacked into one matrix and processed by a
+    single vectorized call.
+    """
+    if dtype_for_modulus(q) is object:
+        return "big"
+    return "narrow" if q < _NARROW_THRESHOLD else "wide"
+
+
+def _q_arr(q):
+    """``q`` as a uint64 scalar, or passed through when already an array."""
+    if isinstance(q, np.ndarray):
+        return q
+    return np.uint64(q)
+
+
+def _q_bound(q) -> int:
+    """Largest modulus represented by ``q`` (drives backend dispatch)."""
+    if isinstance(q, np.ndarray):
+        return int(q.max())
+    return int(q)
 
 
 def as_mod_array(values, q: int) -> np.ndarray:
@@ -75,61 +137,81 @@ def _is_big(a: np.ndarray) -> bool:
     return a.dtype == object
 
 
-def mod_add(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+def mod_add(a: np.ndarray, b: np.ndarray, q) -> np.ndarray:
     """``(a + b) mod q`` elementwise."""
     if _is_big(a):
         return (a + b) % q
-    qa = np.uint64(q)
+    qa = _q_arr(q)
     s = a + b  # < 2^62, no wrap
     return np.where(s >= qa, s - qa, s)
 
 
-def mod_sub(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+def mod_sub(a: np.ndarray, b: np.ndarray, q) -> np.ndarray:
     """``(a - b) mod q`` elementwise."""
     if _is_big(a):
         return (a - b) % q
-    qa = np.uint64(q)
+    qa = _q_arr(q)
     s = a + (qa - b)
     return np.where(s >= qa, s - qa, s)
 
 
-def mod_neg(a: np.ndarray, q: int) -> np.ndarray:
+def mod_neg(a: np.ndarray, q) -> np.ndarray:
     """``(-a) mod q`` elementwise."""
     if _is_big(a):
         return (-a) % q
-    qa = np.uint64(q)
-    return np.where(a == 0, a, qa - a)
+    qa = _q_arr(q)
+    return np.where(a == 0, np.uint64(0), qa - a)
 
 
-def _mulmod_wide(a: np.ndarray, b, q: int) -> np.ndarray:
+def _mulmod_wide(a: np.ndarray, b, q, bf=None, qf=None) -> np.ndarray:
     """Exact ``a*b mod q`` for uint64 arrays with ``q < 2^61``.
 
-    ``b`` may be an array or a scalar ``uint64``.  The longdouble
+    ``b`` may be an array or a scalar ``uint64``; ``q`` a scalar or a
+    broadcastable uint64 array.  ``bf``/``qf`` are optional precomputed
+    longdouble images of ``b``/``q`` (twiddle tables pass them so the
+    conversion is not redone every butterfly stage).  The longdouble
     quotient estimate is off by at most one; wrapping uint64 arithmetic
     recovers the exact remainder, then two conditional corrections land
     it in ``[0, q)``.
     """
-    qa = np.uint64(q)
+    qa = _q_arr(q)
     af = a.astype(np.longdouble)
-    bf = (
-        np.longdouble(int(b))
-        if np.isscalar(b) or b.ndim == 0
-        else b.astype(np.longdouble)
-    )
-    quot = np.floor(af * bf / np.longdouble(q)).astype(np.uint64)
+    if bf is None:
+        bf = (
+            np.longdouble(int(b))
+            if np.isscalar(b) or b.ndim == 0
+            else b.astype(np.longdouble)
+        )
+    if qf is None:
+        qf = (
+            qa.astype(np.longdouble)
+            if isinstance(qa, np.ndarray)
+            else np.longdouble(int(q))
+        )
+    quot = np.floor(af * bf / qf).astype(np.uint64)
     r = a * b - quot * qa  # wrapping arithmetic; true value in (-q, 2q)
     r = np.where(r & _SIGN_BIT != 0, r + qa, r)  # quotient overestimate
     r = np.where(r >= qa, r - qa, r)  # quotient underestimate
     return r
 
 
-def mod_mul(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+def mod_mul(a: np.ndarray, b: np.ndarray, q) -> np.ndarray:
     """``(a * b) mod q`` elementwise (exact for all backends)."""
     if _is_big(a):
         return (a * b) % q
-    if q < _NARROW_THRESHOLD:
-        return a * b % np.uint64(q)
+    if _q_bound(q) < _NARROW_THRESHOLD:
+        return a * b % _q_arr(q)
     return _mulmod_wide(a, b, q)
+
+
+def mod_mul_pre(a: np.ndarray, b: np.ndarray, q, bf, qf) -> np.ndarray:
+    """Wide-path ``(a * b) mod q`` with precomputed longdouble ``bf``/``qf``.
+
+    Hot-loop variant of :func:`mod_mul` for the stage-vectorized NTT: the
+    twiddle tables and modulus columns are converted to longdouble once at
+    context-build time instead of once per butterfly stage.
+    """
+    return _mulmod_wide(a, b, q, bf=bf, qf=qf)
 
 
 def mod_scalar_mul(a: np.ndarray, k: int, q: int) -> np.ndarray:

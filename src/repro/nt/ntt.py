@@ -8,19 +8,36 @@ the forward transform and Gentleman–Sande decimation-in-frequency for the
 inverse, with powers of the primitive ``2N``-th root ``ψ`` folded into the
 twiddle tables so no separate pre/post twist pass is needed.
 
-Contexts (twiddle tables) are cached per ``(q, n)``; they are the software
-analogue of the accelerator's precomputed twiddle ROMs.
+The butterflies are *stage-vectorized*: each of the ``log2 n`` stages is a
+constant number of numpy calls.  The working vector is viewed as a
+``(blocks, 2, t)`` tensor, the stage's twiddles broadcast as a
+``(blocks, 1)`` column, and all blocks update at once — there is no
+Python-level loop over butterfly blocks.  :func:`forward_rows` /
+:func:`inverse_rows` lift the same idea one axis higher and transform a
+whole ``(k, n)`` residue matrix (one row per RNS prime) in a single pass,
+with a ``(k, n)`` twiddle table stacked across the primes.
+
+Contexts (twiddle tables) are cached per ``(q, n)`` and per moduli tuple;
+they are the software analogue of the accelerator's precomputed twiddle
+ROMs.  Float64/longdouble images of the tables are built once at context
+creation for the wide path's Barrett-style multiplies.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import Sequence
 
 import numpy as np
 
 from repro.errors import ParameterError
 from repro.nt import modmath
 from repro.nt.primes import is_ntt_friendly
+
+#: Running count of vectorized stage-kernel invocations.  Each entry is
+#: bumped exactly once per butterfly *stage* (never per block); the guard
+#: tests use it to prove the O(n)-per-stage Python loop has not crept back.
+STAGE_KERNEL_CALLS = {"forward": 0, "inverse": 0}
 
 
 def _bit_reverse_permutation(n: int) -> list[int]:
@@ -43,6 +60,30 @@ def _find_primitive_2n_root(q: int, n: int) -> int:
     raise ParameterError(f"no primitive 2*{n}-th root of unity mod {q}")
 
 
+def _psi_tables(q: int, n: int) -> tuple[list[int], list[int], int]:
+    """Bit-reversed ``ψ`` power tables and ``n^{-1}`` for ``(q, n)``."""
+    psi = _find_primitive_2n_root(q, n)
+    psi_inv = modmath.mod_inv(psi, q)
+    rev = _bit_reverse_permutation(n)
+    powers = [1] * n
+    for i in range(1, n):
+        powers[i] = powers[i - 1] * psi % q
+    inv_powers = [1] * n
+    for i in range(1, n):
+        inv_powers[i] = inv_powers[i - 1] * psi_inv % q
+    psi_rev = [powers[rev[i]] for i in range(n)]
+    psi_inv_rev = [inv_powers[rev[i]] for i in range(n)]
+    return psi_rev, psi_inv_rev, modmath.mod_inv(n, q)
+
+
+def _as_table(values: list[int], q: int) -> np.ndarray:
+    if modmath.dtype_for_modulus(q) is object:
+        out = np.empty(len(values), dtype=object)
+        out[:] = values
+        return out
+    return np.array(values, dtype=np.uint64)
+
+
 class NttContext:
     """Precomputed tables for the negacyclic NTT mod one prime.
 
@@ -59,57 +100,80 @@ class NttContext:
             raise ParameterError(f"{q} is not an NTT-friendly prime for degree {n}")
         self.q = q
         self.n = n
-        psi = _find_primitive_2n_root(q, n)
-        psi_inv = modmath.mod_inv(psi, q)
-        rev = _bit_reverse_permutation(n)
-        # psi powers in bit-reversed order, as consumed by the iterative
-        # butterflies.
-        powers = [1] * n
-        for i in range(1, n):
-            powers[i] = powers[i - 1] * psi % q
-        inv_powers = [1] * n
-        for i in range(1, n):
-            inv_powers[i] = inv_powers[i - 1] * psi_inv % q
-        self._psi_rev = [powers[rev[i]] for i in range(n)]
-        self._psi_inv_rev = [inv_powers[rev[i]] for i in range(n)]
-        self._n_inv = modmath.mod_inv(n, q)
+        self.kind = modmath.backend_kind(q)
+        psi_rev, psi_inv_rev, n_inv = _psi_tables(q, n)
+        self._psi_rev = _as_table(psi_rev, q)
+        self._psi_inv_rev = _as_table(psi_inv_rev, q)
+        self._n_inv = n_inv
+        if self.kind == "wide":
+            # Longdouble images of the twiddles and modulus, built once so
+            # the wide-path multiply never re-converts inside a stage.
+            self._psi_rev_f = self._psi_rev.astype(np.longdouble)
+            self._psi_inv_rev_f = self._psi_inv_rev.astype(np.longdouble)
+            self._q_f = np.longdouble(q)
+        else:
+            self._psi_rev_f = self._psi_inv_rev_f = self._q_f = None
+
+    # ------------------------------------------------------------------
+    def _twiddle_mul(self, x: np.ndarray, lo: int, hi: int, inverse: bool):
+        """``x * ψ_table[lo:hi]`` mod ``q`` with the table as a column.
+
+        ``x`` has shape ``(hi - lo, t)``; the twiddle slice broadcasts as
+        ``(hi - lo, 1)`` so every block multiplies by its own root.
+        """
+        table = self._psi_inv_rev if inverse else self._psi_rev
+        s = table[lo:hi].reshape(-1, 1)
+        if self.kind == "narrow":
+            return x * s % np.uint64(self.q)
+        if self.kind == "wide":
+            table_f = self._psi_inv_rev_f if inverse else self._psi_rev_f
+            sf = table_f[lo:hi].reshape(-1, 1)
+            return modmath.mod_mul_pre(x, s, self.q, sf, self._q_f)
+        return (x * s) % self.q
 
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
-        """Transform coefficient form -> evaluation (NTT) form."""
+        """Transform coefficient form -> evaluation (NTT) form.
+
+        Cooley–Tukey DIT; stage with ``m`` blocks of half-length ``t``
+        views the vector as ``(m, 2, t)`` and updates all blocks in a
+        handful of numpy calls.
+        """
         q = self.q
-        a = coeffs.copy()
+        a = coeffs.copy()  # .copy() yields a fresh C-contiguous buffer
         t = self.n
         m = 1
         while m < self.n:
             t //= 2
-            for i in range(m):
-                j1 = 2 * i * t
-                s = self._psi_rev[m + i]
-                u = a[j1 : j1 + t]
-                v = modmath.mod_scalar_mul(a[j1 + t : j1 + 2 * t], s, q)
-                hi = modmath.mod_sub(u, v, q)
-                a[j1 : j1 + t] = modmath.mod_add(u, v, q)
-                a[j1 + t : j1 + 2 * t] = hi
+            STAGE_KERNEL_CALLS["forward"] += 1
+            blk = a.reshape(m, 2, t)
+            u = blk[:, 0, :]
+            v = self._twiddle_mul(blk[:, 1, :], m, 2 * m, inverse=False)
+            lo = modmath.mod_add(u, v, q)
+            hi = modmath.mod_sub(u, v, q)
+            blk[:, 0, :] = lo
+            blk[:, 1, :] = hi
             m *= 2
         return a
 
     def inverse(self, values: np.ndarray) -> np.ndarray:
-        """Transform evaluation (NTT) form -> coefficient form."""
+        """Transform evaluation (NTT) form -> coefficient form.
+
+        Gentleman–Sande DIF with the mirrored ``(h, 2, t)`` view.
+        """
         q = self.q
         a = values.copy()
         t = 1
         m = self.n
         while m > 1:
-            j1 = 0
             h = m // 2
-            for i in range(h):
-                s = self._psi_inv_rev[h + i]
-                u = a[j1 : j1 + t]
-                v = a[j1 + t : j1 + 2 * t]
-                hi = modmath.mod_scalar_mul(modmath.mod_sub(u, v, q), s, q)
-                a[j1 : j1 + t] = modmath.mod_add(u, v, q)
-                a[j1 + t : j1 + 2 * t] = hi
-                j1 += 2 * t
+            STAGE_KERNEL_CALLS["inverse"] += 1
+            blk = a.reshape(h, 2, t)
+            u = blk[:, 0, :]
+            v = blk[:, 1, :]
+            lo = modmath.mod_add(u, v, q)
+            hi = self._twiddle_mul(modmath.mod_sub(u, v, q), h, 2 * h, inverse=True)
+            blk[:, 0, :] = lo
+            blk[:, 1, :] = hi
             t *= 2
             m = h
         return modmath.mod_scalar_mul(a, self._n_inv, q)
@@ -125,3 +189,128 @@ class NttContext:
 def ntt_context(q: int, n: int) -> NttContext:
     """Cached :class:`NttContext` for ``(q, n)``."""
     return NttContext(q, n)
+
+
+class NttRowsContext:
+    """Batched negacyclic NTT over a stack of uint64 primes.
+
+    Transforms a ``(k, n)`` residue matrix — row ``i`` reduced mod
+    ``moduli[i]`` — in one pass per stage, with the per-prime twiddle
+    tables stacked into a ``(k, n)`` matrix and the moduli broadcast as a
+    ``(k, 1, 1)`` column over the ``(k, blocks, t)`` working view.  All
+    moduli must be below ``2^61`` (the uint64 backends); big-int rows stay
+    on the per-row :class:`NttContext` path.
+    """
+
+    def __init__(self, moduli: Sequence[int], n: int):
+        moduli = tuple(int(q) for q in moduli)
+        if not moduli:
+            raise ParameterError("batched NTT needs at least one modulus")
+        kinds = {modmath.backend_kind(q) for q in moduli}
+        if "big" in kinds:
+            raise ParameterError(
+                "batched NTT supports uint64 moduli only (< 2^61); "
+                "route big-int rows through NttContext"
+            )
+        self.moduli = moduli
+        self.n = n
+        # A single wide row forces the wide (exact for narrow too) kernel.
+        self.kind = "wide" if "wide" in kinds else "narrow"
+        ctxs = [ntt_context(q, n) for q in moduli]
+        k = len(moduli)
+        self._psi_rev = np.stack([c._psi_rev for c in ctxs])
+        self._psi_inv_rev = np.stack([c._psi_inv_rev for c in ctxs])
+        self._q_col = np.array(moduli, dtype=np.uint64).reshape(k, 1)
+        self._q_col3 = self._q_col.reshape(k, 1, 1)
+        self._n_inv_col = np.array(
+            [c._n_inv for c in ctxs], dtype=np.uint64
+        ).reshape(k, 1)
+        if self.kind == "wide":
+            self._psi_rev_f = self._psi_rev.astype(np.longdouble)
+            self._psi_inv_rev_f = self._psi_inv_rev.astype(np.longdouble)
+            self._q_f3 = self._q_col3.astype(np.longdouble)
+            self._n_inv_f = self._n_inv_col.astype(np.longdouble)
+            self._q_f = self._q_col.astype(np.longdouble)
+
+    # ------------------------------------------------------------------
+    def _check(self, mat: np.ndarray) -> None:
+        if mat.ndim != 2 or mat.shape != (len(self.moduli), self.n):
+            raise ParameterError(
+                f"expected a ({len(self.moduli)}, {self.n}) residue matrix, "
+                f"got shape {mat.shape}"
+            )
+        if mat.dtype != np.uint64:
+            raise ParameterError("batched NTT requires a uint64 matrix")
+
+    def _twiddle_mul(self, x: np.ndarray, lo: int, hi: int, inverse: bool):
+        table = self._psi_inv_rev if inverse else self._psi_rev
+        s = table[:, lo:hi, None]  # (k, blocks, 1)
+        if self.kind == "narrow":
+            return x * s % self._q_col3
+        table_f = self._psi_inv_rev_f if inverse else self._psi_rev_f
+        return modmath.mod_mul_pre(
+            x, s, self._q_col3, table_f[:, lo:hi, None], self._q_f3
+        )
+
+    def forward(self, mat: np.ndarray) -> np.ndarray:
+        """Batched coefficient -> NTT transform of a ``(k, n)`` matrix."""
+        self._check(mat)
+        a = mat.copy()
+        k = len(self.moduli)
+        t = self.n
+        m = 1
+        while m < self.n:
+            t //= 2
+            STAGE_KERNEL_CALLS["forward"] += 1
+            blk = a.reshape(k, m, 2, t)
+            u = blk[:, :, 0, :]
+            v = self._twiddle_mul(blk[:, :, 1, :], m, 2 * m, inverse=False)
+            lo = modmath.mod_add(u, v, self._q_col3)
+            hi = modmath.mod_sub(u, v, self._q_col3)
+            blk[:, :, 0, :] = lo
+            blk[:, :, 1, :] = hi
+            m *= 2
+        return a
+
+    def inverse(self, mat: np.ndarray) -> np.ndarray:
+        """Batched NTT -> coefficient transform of a ``(k, n)`` matrix."""
+        self._check(mat)
+        a = mat.copy()
+        k = len(self.moduli)
+        t = 1
+        m = self.n
+        while m > 1:
+            h = m // 2
+            STAGE_KERNEL_CALLS["inverse"] += 1
+            blk = a.reshape(k, h, 2, t)
+            u = blk[:, :, 0, :]
+            v = blk[:, :, 1, :]
+            lo = modmath.mod_add(u, v, self._q_col3)
+            hi = self._twiddle_mul(
+                modmath.mod_sub(u, v, self._q_col3), h, 2 * h, inverse=True
+            )
+            blk[:, :, 0, :] = lo
+            blk[:, :, 1, :] = hi
+            t *= 2
+            m = h
+        if self.kind == "narrow":
+            return a * self._n_inv_col % self._q_col
+        return modmath.mod_mul_pre(
+            a, self._n_inv_col, self._q_col, self._n_inv_f, self._q_f
+        )
+
+
+@lru_cache(maxsize=1024)
+def ntt_rows_context(moduli: tuple[int, ...], n: int) -> NttRowsContext:
+    """Cached :class:`NttRowsContext` for ``(moduli, n)``."""
+    return NttRowsContext(moduli, n)
+
+
+def forward_rows(mat: np.ndarray, moduli: Sequence[int]) -> np.ndarray:
+    """Forward NTT of every row of a ``(k, n)`` residue matrix at once."""
+    return ntt_rows_context(tuple(int(q) for q in moduli), mat.shape[-1]).forward(mat)
+
+
+def inverse_rows(mat: np.ndarray, moduli: Sequence[int]) -> np.ndarray:
+    """Inverse NTT of every row of a ``(k, n)`` residue matrix at once."""
+    return ntt_rows_context(tuple(int(q) for q in moduli), mat.shape[-1]).inverse(mat)

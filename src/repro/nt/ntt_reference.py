@@ -1,0 +1,109 @@
+"""Reference (pre-vectorization) NTT kernels: oracle and benchmark baseline.
+
+This module preserves the original per-block scalar implementation of the
+negacyclic NTT — the code :mod:`repro.nt.ntt` replaced with
+stage-vectorized butterflies.  It exists for two reasons:
+
+- **Bit-exactness oracle.**  The vectorized transforms must produce the
+  *same residues* as this implementation on identical inputs; the tests
+  in ``tests/test_nt_ntt.py`` cross-check them on all three modmath
+  backends.
+- **Benchmark baseline.**  ``benchmarks/bench_kernels.py`` reports
+  ``speedup_vs_baseline`` against these kernels, so the speedup numbers
+  in ``BENCH_kernels.json`` measure exactly what this PR changed.
+
+Do not use this path in production code; it is O(n) Python-level loop
+iterations per transform on top of the O(n log n) arithmetic.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.nt import modmath
+from repro.nt.ntt import _psi_tables
+from repro.nt.primes import is_ntt_friendly
+
+
+class ReferenceNttContext:
+    """The original per-block-loop negacyclic NTT (kept verbatim)."""
+
+    def __init__(self, q: int, n: int):
+        if not is_ntt_friendly(q, n):
+            raise ParameterError(f"{q} is not an NTT-friendly prime for degree {n}")
+        self.q = q
+        self.n = n
+        psi_rev, psi_inv_rev, n_inv = _psi_tables(q, n)
+        self._psi_rev = psi_rev
+        self._psi_inv_rev = psi_inv_rev
+        self._n_inv = n_inv
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Transform coefficient form -> evaluation (NTT) form."""
+        q = self.q
+        a = coeffs.copy()
+        t = self.n
+        m = 1
+        while m < self.n:
+            t //= 2
+            for i in range(m):
+                j1 = 2 * i * t
+                s = self._psi_rev[m + i]
+                u = a[j1 : j1 + t]
+                v = modmath.mod_scalar_mul(a[j1 + t : j1 + 2 * t], s, q)
+                hi = modmath.mod_sub(u, v, q)
+                a[j1 : j1 + t] = modmath.mod_add(u, v, q)
+                a[j1 + t : j1 + 2 * t] = hi
+            m *= 2
+        return a
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Transform evaluation (NTT) form -> coefficient form."""
+        q = self.q
+        a = values.copy()
+        t = 1
+        m = self.n
+        while m > 1:
+            j1 = 0
+            h = m // 2
+            for i in range(h):
+                s = self._psi_inv_rev[h + i]
+                u = a[j1 : j1 + t]
+                v = a[j1 + t : j1 + 2 * t]
+                hi = modmath.mod_scalar_mul(modmath.mod_sub(u, v, q), s, q)
+                a[j1 : j1 + t] = modmath.mod_add(u, v, q)
+                a[j1 + t : j1 + 2 * t] = hi
+                j1 += 2 * t
+            t *= 2
+            m = h
+        return modmath.mod_scalar_mul(a, self._n_inv, q)
+
+    def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Product of two coefficient-form polynomials mod ``X^n + 1``."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse(modmath.mod_mul(fa, fb, self.q))
+
+
+@lru_cache(maxsize=256)
+def reference_ntt_context(q: int, n: int) -> ReferenceNttContext:
+    """Cached :class:`ReferenceNttContext` for ``(q, n)``."""
+    return ReferenceNttContext(q, n)
+
+
+def schoolbook_negacyclic(a, b, q: int, n: int) -> list[int]:
+    """O(n²) negacyclic product over Python ints — the ground truth."""
+    out = [0] * n
+    for i in range(n):
+        ai = int(a[i])
+        for j in range(n):
+            k = i + j
+            p = ai * int(b[j])
+            if k < n:
+                out[k] = (out[k] + p) % q
+            else:
+                out[k - n] = (out[k - n] - p) % q
+    return out

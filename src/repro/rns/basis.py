@@ -6,8 +6,10 @@ from functools import lru_cache
 from math import prod
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import ParameterError
-from repro.nt.modmath import mod_inv
+from repro.nt.modmath import backend_kind, mod_inv
 from repro.nt.ntt import ntt_context
 
 
@@ -20,7 +22,7 @@ class RnsBasis:
     can be cached per basis pair.
     """
 
-    __slots__ = ("n", "moduli", "_product")
+    __slots__ = ("n", "moduli", "_product", "_groups")
 
     def __init__(self, n: int, moduli: Sequence[int]):
         moduli = tuple(int(q) for q in moduli)
@@ -31,6 +33,7 @@ class RnsBasis:
         self.n = n
         self.moduli = moduli
         self._product: int | None = None
+        self._groups: tuple | None = None
 
     @property
     def size(self) -> int:
@@ -52,6 +55,34 @@ class RnsBasis:
     def ntt(self, index: int):
         """The cached NTT context for residue row ``index``."""
         return ntt_context(self.moduli[index], self.n)
+
+    def backend_groups(self) -> tuple[tuple[str, tuple[int, ...], np.ndarray | None], ...]:
+        """Residue rows grouped by modmath backend, for matrix-at-a-time ops.
+
+        Returns ``(kind, indices, q_col)`` triples where ``kind`` is one of
+        ``"narrow"``/``"wide"``/``"big"``, ``indices`` are the row positions
+        of that kind (in basis order), and ``q_col`` is the ``(len, 1)``
+        uint64 modulus column (``None`` for the big-int kind, which stays on
+        the per-row path).  Rows within a group stack into one ``(k, n)``
+        matrix that a single vectorized modmath / batched-NTT call handles.
+        """
+        if self._groups is None:
+            buckets: dict[str, list[int]] = {}
+            for i, q in enumerate(self.moduli):
+                buckets.setdefault(backend_kind(q), []).append(i)
+            groups = []
+            for kind in ("narrow", "wide", "big"):
+                idx = buckets.get(kind)
+                if not idx:
+                    continue
+                q_col = None
+                if kind != "big":
+                    q_col = np.array(
+                        [self.moduli[i] for i in idx], dtype=np.uint64
+                    ).reshape(-1, 1)
+                groups.append((kind, tuple(idx), q_col))
+            self._groups = tuple(groups)
+        return self._groups
 
     def index_of(self, q: int) -> int:
         """Row index of modulus ``q`` (raises if absent)."""

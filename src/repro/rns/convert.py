@@ -28,13 +28,18 @@ from repro.rns.basis import RnsBasis, crt_weights
 from repro.rns.poly import COEFF, RnsPolynomial
 
 
-def _float_rows(rows: Sequence[np.ndarray]) -> list[np.ndarray]:
-    out = []
-    for row in rows:
+def _float_matrix(rows: Sequence[np.ndarray]) -> np.ndarray:
+    """Stack residue rows into a ``(k, n)`` float64 matrix.
+
+    uint64 rows convert with a single vectorized ``astype``; only object
+    (big-int) rows need the per-element Python-float path.
+    """
+    out = np.empty((len(rows), len(rows[0])), dtype=np.float64)
+    for i, row in enumerate(rows):
         if row.dtype == object:
-            out.append(np.array([float(int(v)) for v in row], dtype=np.float64))
+            out[i] = [float(int(v)) for v in row]
         else:
-            out.append(row.astype(np.float64))
+            out[i] = row.astype(np.float64)
     return out
 
 
@@ -51,36 +56,158 @@ def base_convert(
     within ~2^-50 · Q of ± Q/2, which is never the case for the
     noise-bounded values CKKS stores.  With ``exact=False`` this is the
     classic approximate conversion, off by a small multiple of ``Q``.
+
+    The kernel is matrix-at-a-time with *lazy reduction*: the CRT digits
+    ``v_i`` come from one rowwise-scalar multiply, ``α`` from one BLAS
+    ``(1/q) @ V`` accumulation, and each narrow destination prime reduces
+    the whole ``(k, n)`` digit stack with unreduced uint64 products —
+    ``Σ v_i · (q̂_i mod p)`` wraps only after ``⌊2^64 / max_prod⌋`` terms,
+    so the sum needs one modulo per chunk instead of three passes per
+    term.  The ``-α·Q`` correction rides the same accumulation as an
+    extra row.  Wide destinations keep the exact float-assisted multiply;
+    big-int destinations keep the per-row fold.
     """
     if poly.domain != COEFF:
         raise ParameterError("base_convert requires coefficient domain")
     src = poly.basis
+    n = src.n
+    k = src.size
     q_hat_inv, q_hat = crt_weights(src)
     # v_i = x_i * (Q/q_i)^{-1} mod q_i : the CRT decomposition digits.
-    v_rows = [
-        modmath.mod_scalar_mul(row, inv, q)
-        for row, inv, q in zip(poly.rows, q_hat_inv, src.moduli)
-    ]
-    alpha = None
+    v_poly = poly.rowwise_scalar_mul(q_hat_inv)
+    v_rows = v_poly.rows
+    v_mats = v_poly.group_matrices()
+    # The digit rows are already stacked per backend group; concatenate
+    # the uint64 groups so every destination sees one (k_u64, n) matrix.
+    u64_idx: list[int] = []
+    obj_idx: list[int] = []
+    u64_mats = []
+    for kind, idx, _ in src.backend_groups():
+        if kind == "big":
+            obj_idx.extend(idx)
+        else:
+            u64_idx.extend(idx)
+            u64_mats.append(v_mats[kind])
+    v_u64 = None
+    if u64_mats:
+        v_u64 = u64_mats[0] if len(u64_mats) == 1 else np.concatenate(u64_mats)
+    alpha = alpha_u = None
     if exact:
-        acc = np.zeros(src.n, dtype=np.float64)
-        for v, q in zip(_float_rows(v_rows), src.moduli):
-            acc += v / float(q)
+        acc = np.zeros(n, dtype=np.float64)
+        for kind, idx, _ in src.backend_groups():
+            if kind == "big":
+                for row, i in zip(v_mats[kind], idx):
+                    row_f = np.array([float(int(x)) for x in row], dtype=np.float64)
+                    acc += row_f / float(src.moduli[i])
+            else:
+                # One BLAS pass: α += (1/q) @ V over the stacked digits.
+                q_inv = np.array(
+                    [1.0 / float(src.moduli[i]) for i in idx], dtype=np.float64
+                )
+                acc += q_inv @ v_mats[kind].astype(np.float64)
+        # α = round(Σ v_i / q_i) ∈ [0, k]: small and non-negative.
         alpha = np.rint(acc).astype(np.int64)
+        alpha_u = alpha.astype(np.uint64)
     big_q = src.product
-    out_rows = []
-    for p in dst_moduli:
-        acc_row = modmath.zeros(src.n, p)
-        for v, h in zip(v_rows, q_hat):
-            term = modmath.mod_scalar_mul(modmath.as_mod_array(v, p), h % p, p)
-            acc_row = modmath.mod_add(acc_row, term, p)
-        if alpha is not None:
-            corr = modmath.mod_scalar_mul(
-                modmath.as_mod_array(alpha, p), big_q % p, p
-            )
-            acc_row = modmath.mod_sub(acc_row, corr, p)
-        out_rows.append(acc_row)
-    return RnsPolynomial(RnsBasis(src.n, dst_moduli), out_rows, COEFF)
+    src_order = u64_idx + obj_idx
+    src_u64_max = max((src.moduli[i] for i in u64_idx), default=0)
+    dst_basis = RnsBasis(n, dst_moduli)
+    out_mats: dict = {}
+    for kind, idx, _ in dst_basis.backend_groups():
+        if kind == "big":
+            rows = []
+            for i in idx:
+                p = dst_basis.moduli[i]
+                acc_row = modmath.zeros(n, p)
+                for v, h in zip(v_rows, q_hat):
+                    term = modmath.mod_scalar_mul(
+                        modmath.as_mod_array(v, p), h % p, p
+                    )
+                    acc_row = modmath.mod_add(acc_row, term, p)
+                if alpha is not None:
+                    corr = modmath.mod_scalar_mul(
+                        modmath.as_mod_array(alpha, p), big_q % p, p
+                    )
+                    acc_row = modmath.mod_sub(acc_row, corr, p)
+                rows.append(acc_row)
+            out_mats[kind] = rows
+            continue
+        res = np.empty((len(idx), n), dtype=np.uint64)
+        for j, i in enumerate(idx):
+            p = dst_basis.moduli[i]
+            pu = np.uint64(p)
+            h_u64 = [q_hat[t] % p for t in src_order]
+            neg_q = (-big_q) % p if alpha_u is not None else None
+            if kind == "narrow":
+                # Lazy path: Σ v·h ≡ Σ (v mod p)(h mod p) (mod p), and the
+                # unreduced uint64 products only wrap after `chunk` terms,
+                # so the whole fold is muls + adds + one mod per chunk.
+                if src_u64_max and (src_u64_max - 1) * (p - 1) >= (1 << 64):
+                    w = v_u64 % pu
+                    vmax = p - 1
+                else:
+                    w = v_u64
+                    vmax = max(src_u64_max - 1, 0)
+                if obj_idx or alpha_u is not None:
+                    # α rides the fold as one extra row with weight -Q
+                    # mod p; α itself is tiny (≤ k < p).
+                    kk = k + (1 if alpha_u is not None else 0)
+                    stack = np.empty((kk, n), dtype=np.uint64)
+                    if u64_idx:
+                        stack[: len(u64_idx)] = w
+                    for jj, t in enumerate(obj_idx):
+                        stack[len(u64_idx) + jj] = modmath.as_mod_array(
+                            v_rows[t], p
+                        )
+                    if alpha_u is not None:
+                        stack[kk - 1] = alpha_u
+                        h_u64 = h_u64 + [neg_q]
+                else:
+                    kk = k
+                    stack = w
+                prod_max = max(vmax, p - 1) * (p - 1)
+                chunk = max(1, ((1 << 64) - 1) // (prod_max + 1))
+                prods = stack * np.array(h_u64, dtype=np.uint64)[:, None]
+                total = prods[:chunk].sum(axis=0, dtype=np.uint64) % pu
+                for c0 in range(chunk, kk, chunk):
+                    # Each reduced chunk sum is < p < 2^31; a handful of
+                    # them cannot wrap uint64 before the final reduce.
+                    total += prods[c0 : c0 + chunk].sum(axis=0, dtype=np.uint64) % pu
+                res[j] = total % pu
+            else:
+                # Wide destination: operands must sit below p for the
+                # float-assisted multiply (scalar multipliers hit numpy's
+                # fast scalar-divisor loops), then an exact mod_add fold.
+                w = v_u64 if src_u64_max <= p else v_u64 % pu
+                acc_row = None
+                for jj in range(len(u64_idx)):
+                    term = modmath.mod_mul(w[jj], h_u64[jj], p)
+                    acc_row = (
+                        term
+                        if acc_row is None
+                        else modmath.mod_add(acc_row, term, p)
+                    )
+                for jj, t in enumerate(obj_idx):
+                    wr = modmath.as_mod_array(v_rows[t], p)
+                    term = modmath.mod_mul(wr, h_u64[len(u64_idx) + jj], p)
+                    acc_row = (
+                        term
+                        if acc_row is None
+                        else modmath.mod_add(acc_row, term, p)
+                    )
+                if alpha_u is not None:
+                    # α ≤ k, so α·(-Q mod p) fits uint64 whenever
+                    # (k+1)·p < 2^64 — skip the longdouble multiply.
+                    if (k + 1) * p < (1 << 64):
+                        corr = alpha_u * np.uint64(neg_q) % pu
+                    else:
+                        corr = modmath.mod_mul(alpha_u, neg_q, p)
+                    acc_row = modmath.mod_add(acc_row, corr, p)
+                res[j] = acc_row
+        out_mats[kind] = res
+    # Hand the result over in stacked form so downstream matrix ops
+    # (NTT, sub, rowwise multiplies) skip the re-stacking copy.
+    return RnsPolynomial._from_group_mats(dst_basis, out_mats, COEFF)
 
 
 def scale_up(poly: RnsPolynomial, new_moduli: Sequence[int]) -> RnsPolynomial:
@@ -125,12 +252,8 @@ def scale_down(
     # [x]_P (centered remainder), lifted to the kept moduli.
     x_mod_p = poly.restricted(shed)
     lifted = base_convert(x_mod_p, keep, exact=True)
-    inv_p = {q: modmath.mod_inv(p_prod % q, q) for q in keep}
-    out_rows = []
-    for q in keep:
-        diff = modmath.mod_sub(poly.row(q), lifted.row(q), q)
-        out_rows.append(modmath.mod_scalar_mul(diff, inv_p[q], q))
-    return RnsPolynomial(RnsBasis(poly.basis.n, keep), out_rows, COEFF)
+    inv_p = [modmath.mod_inv(p_prod % q, q) for q in keep]
+    return poly.restricted(keep).sub(lifted).rowwise_scalar_mul(inv_p)
 
 
 def drop_moduli(poly: RnsPolynomial, shed_moduli: Sequence[int]) -> RnsPolynomial:

@@ -6,17 +6,25 @@ or in NTT (evaluation) form; the two accelerator-relevant operations that
 force coefficient form are base conversion and Galois automorphisms, and
 the polynomial tracks its domain so callers cannot silently mix them.
 
+Arithmetic runs matrix-at-a-time: rows whose moduli share a uint64
+backend (see :meth:`RnsBasis.backend_groups`) are stacked into one
+``(k, n)`` matrix and reduced against a ``(k, 1)`` modulus column in a
+single vectorized modmath call; domain conversions ride the batched
+multi-prime NTT (:func:`repro.nt.ntt.forward_rows`).  Big-int object rows
+(moduli ≥ 2^61) keep the per-row path, which is exact at any width.
+
 Polynomials are value objects: every operation returns a new polynomial.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.errors import ParameterError, ScaleMismatchError
 from repro.nt import modmath
+from repro.nt import ntt as ntt_kernels
 from repro.nt.crt import crt_reconstruct_vector, centered_vector
 from repro.rns.basis import RnsBasis
 
@@ -27,7 +35,7 @@ NTT = "ntt"
 class RnsPolynomial:
     """A polynomial over an RNS basis, in coefficient or NTT domain."""
 
-    __slots__ = ("basis", "rows", "domain")
+    __slots__ = ("basis", "rows", "domain", "_mats")
 
     def __init__(self, basis: RnsBasis, rows: Sequence[np.ndarray], domain: str):
         if len(rows) != basis.size:
@@ -39,6 +47,7 @@ class RnsPolynomial:
         self.basis = basis
         self.rows = list(rows)
         self.domain = domain
+        self._mats: dict | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -67,19 +76,107 @@ class RnsPolynomial:
         return cls(basis, [r.copy() for r in rows], domain)
 
     # ------------------------------------------------------------------
+    # Vectorization plumbing.  The polynomial's residue rows of each
+    # uint64 backend kind stack into one ``(k, n)`` matrix, built lazily
+    # and cached (value semantics make the cache safe: nothing mutates a
+    # polynomial after construction).  Results of matrix kernels stay in
+    # matrix form, with ``rows`` exposed as views, so chained operations
+    # never pay the stacking copy again.  Big-int rows stay per-row.
+    # ------------------------------------------------------------------
+    def group_matrices(self) -> dict:
+        """Stacked residues per backend kind (see ``RnsBasis.backend_groups``).
+
+        Maps ``"narrow"``/``"wide"`` to a ``(k, n)`` uint64 matrix whose
+        row order follows the group's indices, and ``"big"`` to a list of
+        object rows.  Cached on first use.
+        """
+        if self._mats is None:
+            mats = {}
+            for kind, idx, _ in self.basis.backend_groups():
+                if kind == "big":
+                    mats[kind] = [self.rows[i] for i in idx]
+                else:
+                    mats[kind] = np.stack([self.rows[i] for i in idx])
+            self._mats = mats
+        return self._mats
+
+    @classmethod
+    def _from_group_mats(
+        cls, basis: RnsBasis, mats: dict, domain: str
+    ) -> "RnsPolynomial":
+        rows: list[np.ndarray | None] = [None] * basis.size
+        for kind, idx, _ in basis.backend_groups():
+            group = mats[kind]
+            for j, i in enumerate(idx):
+                rows[i] = group[j]
+        poly = cls(basis, rows, domain)
+        poly._mats = mats
+        return poly
+
+    def _map_mats(
+        self,
+        fn: Callable,
+        other: "RnsPolynomial | None" = None,
+        domain: str | None = None,
+    ) -> "RnsPolynomial":
+        mats = self.group_matrices()
+        other_mats = other.group_matrices() if other is not None else None
+        out = {}
+        for kind, idx, q_col in self.basis.backend_groups():
+            mat = mats[kind]
+            if kind == "big":
+                if other is None:
+                    out[kind] = [
+                        fn(row, self.basis.moduli[i]) for row, i in zip(mat, idx)
+                    ]
+                else:
+                    out[kind] = [
+                        fn(row, o_row, self.basis.moduli[i])
+                        for row, o_row, i in zip(mat, other_mats[kind], idx)
+                    ]
+            else:
+                out[kind] = (
+                    fn(mat, q_col)
+                    if other is None
+                    else fn(mat, other_mats[kind], q_col)
+                )
+        return RnsPolynomial._from_group_mats(
+            self.basis, out, self.domain if domain is None else domain
+        )
+
+    # ------------------------------------------------------------------
     # Domain conversions
     # ------------------------------------------------------------------
+    def _transformed(self, forward: bool) -> "RnsPolynomial":
+        basis = self.basis
+        mats = self.group_matrices()
+        out = {}
+        for kind, idx, _ in basis.backend_groups():
+            if kind == "big":
+                out[kind] = [
+                    basis.ntt(i).forward(row) if forward else basis.ntt(i).inverse(row)
+                    for row, i in zip(mats[kind], idx)
+                ]
+            else:
+                moduli = tuple(basis.moduli[i] for i in idx)
+                out[kind] = (
+                    ntt_kernels.forward_rows(mats[kind], moduli)
+                    if forward
+                    else ntt_kernels.inverse_rows(mats[kind], moduli)
+                )
+        return RnsPolynomial._from_group_mats(
+            basis, out, NTT if forward else COEFF
+        )
+
     def to_ntt(self) -> "RnsPolynomial":
         if self.domain == NTT:
             return self
-        rows = [self.basis.ntt(i).forward(r) for i, r in enumerate(self.rows)]
-        return RnsPolynomial(self.basis, rows, NTT)
+        return self._transformed(forward=True)
 
     def to_coeff(self) -> "RnsPolynomial":
         if self.domain == COEFF:
             return self
-        rows = [self.basis.ntt(i).inverse(r) for i, r in enumerate(self.rows)]
-        return RnsPolynomial(self.basis, rows, COEFF)
+        return self._transformed(forward=False)
 
     # ------------------------------------------------------------------
     # Arithmetic
@@ -96,34 +193,21 @@ class RnsPolynomial:
 
     def add(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other)
-        rows = [
-            modmath.mod_add(a, b, q)
-            for a, b, q in zip(self.rows, other.rows, self.basis.moduli)
-        ]
-        return RnsPolynomial(self.basis, rows, self.domain)
+        return self._map_mats(modmath.mod_add, other)
 
     def sub(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other)
-        rows = [
-            modmath.mod_sub(a, b, q)
-            for a, b, q in zip(self.rows, other.rows, self.basis.moduli)
-        ]
-        return RnsPolynomial(self.basis, rows, self.domain)
+        return self._map_mats(modmath.mod_sub, other)
 
     def neg(self) -> "RnsPolynomial":
-        rows = [modmath.mod_neg(a, q) for a, q in zip(self.rows, self.basis.moduli)]
-        return RnsPolynomial(self.basis, rows, self.domain)
+        return self._map_mats(modmath.mod_neg)
 
     def pointwise_mul(self, other: "RnsPolynomial") -> "RnsPolynomial":
         """Hadamard product; in NTT domain this is polynomial multiplication."""
         self._check_compatible(other)
         if self.domain != NTT:
             raise ParameterError("pointwise_mul requires NTT domain")
-        rows = [
-            modmath.mod_mul(a, b, q)
-            for a, b, q in zip(self.rows, other.rows, self.basis.moduli)
-        ]
-        return RnsPolynomial(self.basis, rows, NTT)
+        return self._map_mats(modmath.mod_mul, other, domain=NTT)
 
     def poly_mul(self, other: "RnsPolynomial") -> "RnsPolynomial":
         """Negacyclic polynomial product, returned in the callers' domain."""
@@ -132,11 +216,34 @@ class RnsPolynomial:
 
     def scalar_mul(self, k: int) -> "RnsPolynomial":
         """Multiply by an integer constant (the ``mulConst`` of the paper)."""
-        rows = [
-            modmath.mod_scalar_mul(a, k, q)
-            for a, q in zip(self.rows, self.basis.moduli)
-        ]
-        return RnsPolynomial(self.basis, rows, self.domain)
+        return self.rowwise_scalar_mul([k] * self.basis.size)
+
+    def rowwise_scalar_mul(self, scalars: Sequence[int]) -> "RnsPolynomial":
+        """Multiply row ``i`` by its own integer constant ``scalars[i]``.
+
+        The per-row constants reduce to a ``(k, 1)`` column so each uint64
+        backend group is one broadcast multiply; base conversion and
+        rescale use this for their per-modulus CRT weights.
+        """
+        if len(scalars) != self.basis.size:
+            raise ParameterError(
+                f"expected {self.basis.size} scalars, got {len(scalars)}"
+            )
+        mats = self.group_matrices()
+        out = {}
+        for kind, idx, q_col in self.basis.backend_groups():
+            if kind == "big":
+                out[kind] = [
+                    modmath.mod_scalar_mul(row, scalars[i], self.basis.moduli[i])
+                    for row, i in zip(mats[kind], idx)
+                ]
+            else:
+                k_col = np.array(
+                    [scalars[i] % self.basis.moduli[i] for i in idx],
+                    dtype=np.uint64,
+                ).reshape(-1, 1)
+                out[kind] = modmath.mod_mul(mats[kind], k_col, q_col)
+        return RnsPolynomial._from_group_mats(self.basis, out, self.domain)
 
     # ------------------------------------------------------------------
     # Automorphisms (homomorphic rotations)
@@ -156,19 +263,17 @@ class RnsPolynomial:
         if g % 2 == 0:
             raise ParameterError(f"Galois element must be odd, got {g}")
         # target index and sign for each source coefficient
-        idx = np.empty(n, dtype=np.int64)
-        flip = np.empty(n, dtype=bool)
-        for j in range(n):
-            t = j * g % two_n
-            idx[j] = t % n
-            flip[j] = t >= n
-        rows = []
-        for row, q in zip(self.rows, self.basis.moduli):
-            out = modmath.zeros(n, q)
-            negated = modmath.mod_neg(row, q)
-            out[idx] = np.where(flip, negated, row)
-            rows.append(out)
-        return RnsPolynomial(self.basis, rows, COEFF)
+        t = np.arange(n, dtype=np.int64) * g % two_n
+        idx = t % n
+        flip = t >= n
+
+        def permute(mat, q):
+            negated = modmath.mod_neg(mat, q)
+            out = np.empty_like(mat)
+            out[..., idx] = np.where(flip, negated, mat)
+            return out
+
+        return self._map_mats(permute, domain=COEFF)
 
     # ------------------------------------------------------------------
     # Basis surgery
