@@ -39,7 +39,7 @@ from repro.nt.ntt_reference import reference_ntt_context
 from repro.nt.primes import ntt_friendly_primes_below
 from repro.rns.basis import RnsBasis, crt_weights
 from repro.rns.convert import base_convert, scale_down
-from repro.rns.poly import COEFF, NTT, RnsPolynomial
+from repro.rns.poly import COEFF, NTT
 from repro.rns.sampling import sample_uniform
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -156,8 +156,12 @@ def make_poly_mul(n, backend, rng):
     basis = RnsBasis(n, moduli)
     a = sample_uniform(basis, rng, COEFF)
     b = sample_uniform(basis, rng, COEFF)
-    vec = lambda: a.poly_mul(b)
-    base = lambda: legacy_poly_mul(a.rows, b.rows, moduli, n)
+    def vec():
+        return a.poly_mul(b)
+
+    def base():
+        return legacy_poly_mul(a.rows, b.rows, moduli, n)
+
     return vec, base
 
 
@@ -165,8 +169,12 @@ def make_base_convert(n, backend, rng):
     primes = primes_for(backend, n, 8)
     src, dst = primes[:4], primes[4:]
     poly = sample_uniform(RnsBasis(n, src), rng, COEFF)
-    vec = lambda: base_convert(poly, dst, exact=True)
-    base = lambda: legacy_base_convert(poly.rows, src, dst, n)
+    def vec():
+        return base_convert(poly, dst, exact=True)
+
+    def base():
+        return legacy_base_convert(poly.rows, src, dst, n)
+
     return vec, base
 
 
@@ -174,8 +182,12 @@ def make_rescale(n, backend, rng):
     moduli = primes_for(backend, n, 5)
     poly = sample_uniform(RnsBasis(n, moduli), rng, COEFF)
     shed = (moduli[-1],)
-    vec = lambda: scale_down(poly, shed)
-    base = lambda: legacy_scale_down(poly.rows, list(moduli), list(shed), n)
+    def vec():
+        return scale_down(poly, shed)
+
+    def base():
+        return legacy_scale_down(poly.rows, list(moduli), list(shed), n)
+
     return vec, base
 
 
@@ -216,8 +228,12 @@ def make_keyswitch(n, backend, rng):
             acc0 = t0 if acc0 is None else legacy_add(acc0, t0, full)
             acc1 = t1 if acc1 is None else legacy_add(acc1, t1, full)
         return (
-            legacy_scale_down(legacy_to_coeff(acc0, full, n), list(full), list(specials), n),
-            legacy_scale_down(legacy_to_coeff(acc1, full, n), list(full), list(specials), n),
+            legacy_scale_down(
+                legacy_to_coeff(acc0, full, n), list(full), list(specials), n
+            ),
+            legacy_scale_down(
+                legacy_to_coeff(acc1, full, n), list(full), list(specials), n
+            ),
         )
 
     return vec, base

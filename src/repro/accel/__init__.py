@@ -6,6 +6,7 @@ energy and area models, and a throughput-balance simulator that prices
 workload traces through a modulus chain.
 """
 
+from repro.accel.area import DEFAULT_AREA_MODEL, AreaModel
 from repro.accel.config import (
     AcceleratorConfig,
     ark_like,
@@ -13,9 +14,8 @@ from repro.accel.config import (
     sharp_like,
     word_size_sweep,
 )
-from repro.accel.kernels import OpCost
 from repro.accel.energy import DEFAULT_ENERGY_MODEL, EnergyModel
-from repro.accel.area import DEFAULT_AREA_MODEL, AreaModel
+from repro.accel.kernels import OpCost
 from repro.accel.sim import AcceleratorSim, SimResult
 
 __all__ = [

@@ -25,9 +25,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.accel import kernels
 from repro.accel.config import AcceleratorConfig
 from repro.accel.energy import DEFAULT_ENERGY_MODEL, EnergyModel
-from repro.accel import kernels
 from repro.accel.kernels import OpCost
 from repro.errors import SimulationError
 from repro.schemes.chain import ModulusChain
@@ -200,7 +200,8 @@ class AcceleratorSim:
             hbm_bytes = self._op_hbm_bytes(cost, n) * op.count
             extra_hbm = hbm_bytes - cost.hbm_rows * self.config.row_bytes(n) * op.count
             breakdown = self.energy_model.op_energy_breakdown(
-                cost, n, self.config.word_bits, extra_hbm_bytes=max(0.0, extra_hbm) / max(op.count, 1.0)
+                cost, n, self.config.word_bits,
+                extra_hbm_bytes=max(0.0, extra_hbm) / max(op.count, 1.0),
             )
             energy = sum(breakdown.values()) * op.count
             result.cycles += cycles

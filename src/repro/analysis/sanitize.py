@@ -1,0 +1,143 @@
+"""Runtime invariant sanitizer for the RNS/CKKS hot paths.
+
+The static passes catch hazards visible in source; this module catches
+the ones only visible in live data — a residue at or above its modulus,
+a row stored in the wrong dtype for its backend, NTT-domain tags mixed
+across a ciphertext pair.  Hook points sit inside
+:class:`~repro.rns.poly.RnsPolynomial` construction, the batched NTT
+entry points, :func:`~repro.rns.convert.base_convert`, and
+:class:`~repro.ckks.ciphertext.Ciphertext` construction; because every
+homomorphic operation constructs new values, checking construction
+checks every op.
+
+Cost model: each hook site is guarded by ``if sanitize.ACTIVE:`` — one
+module-attribute read and a branch when disabled, no numpy work and no
+function call, so the PR-1 benchmark numbers are untouched.  When
+enabled the checks are vectorized comparisons (``(row < q).all()``),
+cheap next to the arithmetic they guard.
+
+Enable with ``REPRO_SANITIZE=1`` in the environment (read at import
+time) or :func:`enable` / :func:`disable` at runtime.  Violations raise
+:class:`repro.errors.InvariantViolation`.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import InvariantViolation
+
+
+def _env_active(value: str | None) -> bool:
+    """Whether an ``REPRO_SANITIZE`` environment value turns checks on."""
+    if value is None:
+        return False
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+#: The master switch.  Hook sites read this attribute directly
+#: (``if sanitize.ACTIVE: ...``) so the disabled path is a single branch.
+ACTIVE = _env_active(os.environ.get("REPRO_SANITIZE"))
+
+#: Counters proving what ran: ``checks`` increments once per executed
+#: check call (never when disabled), ``violations`` once per raise.
+STATS = {"checks": 0, "violations": 0}
+
+
+def enable() -> None:
+    """Turn the sanitizer on for this process."""
+    global ACTIVE
+    ACTIVE = True
+
+
+def disable() -> None:
+    """Turn the sanitizer off (hook sites go back to a dead branch)."""
+    global ACTIVE
+    ACTIVE = False
+
+
+def enabled() -> bool:
+    return ACTIVE
+
+
+def reset_stats() -> None:
+    STATS["checks"] = 0
+    STATS["violations"] = 0
+
+
+def _fail(message: str) -> None:
+    STATS["violations"] += 1
+    raise InvariantViolation(message)
+
+
+# ----------------------------------------------------------------------
+# Checks.  Callers guard with ``if sanitize.ACTIVE`` so these bodies
+# only ever run in sanitize mode.
+# ----------------------------------------------------------------------
+def check_residue_row(row: np.ndarray, q: int, where: str) -> None:
+    """One residue row: correct dtype for ``q`` and every value in [0, q)."""
+    # Imported lazily: nt.ntt hooks into this module, so a module-level
+    # modmath import would close an import cycle through repro.nt.
+    from repro.nt.modmath import dtype_for_modulus
+
+    STATS["checks"] += 1
+    expected = dtype_for_modulus(q)
+    if expected is object:
+        if row.dtype != object:
+            _fail(
+                f"{where}: modulus {q.bit_length()}b needs object-dtype "
+                f"rows, got {row.dtype}"
+            )
+        for v in row:
+            if not isinstance(v, int) or not 0 <= v < q:
+                _fail(f"{where}: residue {v!r} outside [0, {q}) or not an int")
+        return
+    if row.dtype != np.uint64:
+        _fail(
+            f"{where}: modulus {q.bit_length()}b needs uint64 rows, "
+            f"got {row.dtype}"
+        )
+    if not bool((row < np.uint64(q)).all()):
+        bad = int(row.max())
+        _fail(f"{where}: residue {bad} >= modulus {q}")
+
+
+def check_poly(poly, where: str = "RnsPolynomial") -> None:
+    """Every row of an RNS polynomial reduced and correctly typed."""
+    for row, q in zip(poly.rows, poly.basis.moduli):
+        check_residue_row(row, q, where)
+
+
+def check_residue_matrix(mat: np.ndarray, moduli, where: str) -> None:
+    """A stacked ``(k, n)`` uint64 residue matrix against its moduli."""
+    STATS["checks"] += 1
+    if mat.dtype != np.uint64:
+        _fail(f"{where}: residue matrix must be uint64, got {mat.dtype}")
+    q_col = np.array([int(q) for q in moduli], dtype=np.uint64).reshape(-1, 1)
+    if mat.shape[0] != q_col.shape[0]:
+        _fail(
+            f"{where}: matrix has {mat.shape[0]} rows for "
+            f"{q_col.shape[0]} moduli"
+        )
+    if not bool((mat < q_col).all()):
+        _fail(f"{where}: unreduced residue in batched NTT input")
+
+
+def check_ciphertext(ct) -> None:
+    """Structural ciphertext invariants after an evaluator op."""
+    STATS["checks"] += 1
+    if ct.c0.basis != ct.c1.basis:
+        _fail(
+            f"Ciphertext: c0/c1 basis mismatch ({ct.c0.basis} vs {ct.c1.basis})"
+        )
+    if ct.c0.domain != ct.c1.domain:
+        _fail(
+            f"Ciphertext: c0 in {ct.c0.domain!r} domain but c1 in "
+            f"{ct.c1.domain!r} — NTT-domain tags must agree across the pair"
+        )
+    if ct.level < 0:
+        _fail(f"Ciphertext: negative level {ct.level}")
+    if ct.scale <= 0:
+        _fail(f"Ciphertext: non-positive scale {ct.scale}")

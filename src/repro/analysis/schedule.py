@@ -1,0 +1,150 @@
+"""Schedule linter: FHE-program bugs in :class:`~repro.trace.program.HeTrace`.
+
+The trace IR records what a homomorphic program does per level; a whole
+class of FHE bugs is visible right there, before any ciphertext exists:
+rescaling a ciphertext that is already on the terminal level, operating
+below level 0 without a bootstrap, adjusting *up* the chain (impossible
+without a bootstrap), or combining operands whose scales cannot match.
+:func:`check_trace` reports these as :class:`~repro.analysis.core.Finding`
+objects — the ``path`` is the trace name and the ``line`` the op index —
+so the CLI can render trace findings and file findings uniformly.
+
+Scale-mismatch checking uses the optional ``scale_bits`` field of
+:class:`~repro.trace.program.TraceOp`: when a program records the scale
+its operands carry at an add/mul, the checker compares it against the
+level's canonical target scale.  Traces that do not record scales (the
+bundled workload generators, which follow canonical scales by
+construction) skip that check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.core import Finding
+from repro.trace.program import HeTrace, OpKind
+
+#: An operand scale more than this many bits off the level's canonical
+#: scale makes an add/mul meaningless (rescale rounding stays far below).
+SCALE_TOLERANCE_BITS = 0.5
+
+_BINARY_KINDS = frozenset(
+    {OpKind.HADD, OpKind.HMUL, OpKind.PADD, OpKind.PMUL}
+)
+
+
+def _finding(trace: HeTrace, index: int, rule: str, message: str) -> Finding:
+    return Finding(
+        rule=rule, path=f"trace:{trace.name}", line=index, col=0, message=message
+    )
+
+
+def check_trace(trace: HeTrace) -> list[Finding]:
+    """Lint one trace for FHE-schedule bugs.
+
+    Rules:
+
+    - ``trace-level-range`` — an op sits outside ``[0, max_level]``;
+      below 0 means the program consumed more levels than the chain has
+      without inserting a bootstrap.
+    - ``trace-terminal-rescale`` — a rescale at level 0 would drop below
+      the chain; only a bootstrap can restore levels.
+    - ``trace-adjust-up`` — an adjust whose destination is at or above
+      its source level; adjust only moves down the chain.
+    - ``trace-scale-mismatch`` — an add/mul whose recorded operand scale
+      differs from the level's canonical scale by more than
+      ``SCALE_TOLERANCE_BITS`` (e.g. a product used before rescale).
+    """
+    findings: list[Finding] = []
+    max_level = trace.max_level
+    for index, op in enumerate(trace.ops):
+        if not 0 <= op.level <= max_level:
+            hint = (
+                " (below level 0: bootstrap before consuming more levels)"
+                if op.level < 0
+                else ""
+            )
+            findings.append(
+                _finding(
+                    trace,
+                    index,
+                    "trace-level-range",
+                    f"{op.kind.value} at level {op.level} outside chain "
+                    f"[0, {max_level}]{hint}",
+                )
+            )
+            continue
+        if op.kind is OpKind.RESCALE and op.level == 0:
+            findings.append(
+                _finding(
+                    trace,
+                    index,
+                    "trace-terminal-rescale",
+                    "rescale at level 0: the chain is already terminal; "
+                    "insert a bootstrap instead",
+                )
+            )
+        if op.kind is OpKind.ADJUST:
+            dst = op.dst_level if op.dst_level is not None else op.level
+            if dst >= op.level:
+                findings.append(
+                    _finding(
+                        trace,
+                        index,
+                        "trace-adjust-up",
+                        f"adjust from level {op.level} to {dst}: adjust only "
+                        "moves down the chain (up requires a bootstrap)",
+                    )
+                )
+            elif dst < 0:
+                findings.append(
+                    _finding(
+                        trace,
+                        index,
+                        "trace-level-range",
+                        f"adjust destination level {dst} below 0",
+                    )
+                )
+        if op.kind in _BINARY_KINDS and op.scale_bits is not None:
+            canonical = trace.level_scale_bits[op.level]
+            if abs(op.scale_bits - canonical) > SCALE_TOLERANCE_BITS:
+                findings.append(
+                    _finding(
+                        trace,
+                        index,
+                        "trace-scale-mismatch",
+                        f"{op.kind.value} at level {op.level} with operand "
+                        f"scale 2^{op.scale_bits:g} but the level's canonical "
+                        f"scale is 2^{canonical:g}; rescale or adjust first",
+                    )
+                )
+    return findings
+
+
+def check_traces(traces: Iterable[HeTrace]) -> list[Finding]:
+    """Lint several traces, concatenating findings in order."""
+    findings: list[Finding] = []
+    for trace in traces:
+        findings.extend(check_trace(trace))
+    return findings
+
+
+def workload_traces(
+    schemes: Sequence[str] = ("bitpacker", "rns-ckks"), word_bits: int = 28
+) -> list[HeTrace]:
+    """The bundled benchmark traces (every app x bootstrap x scheme).
+
+    This is what ``bitpacker-repro lint --traces`` checks: the repo's own
+    homomorphic programs, under both level-management schemes.
+    """
+    from repro.workloads import BS19_SCHEDULE, BS26_SCHEDULE
+    from repro.workloads.apps import BENCHMARKS
+
+    traces = []
+    for build in BENCHMARKS.values():
+        for schedule in (BS19_SCHEDULE, BS26_SCHEDULE):
+            for scheme in schemes:
+                traces.append(
+                    build(schedule=schedule, scheme=scheme, word_bits=word_bits)
+                )
+    return traces

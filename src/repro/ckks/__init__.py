@@ -8,18 +8,18 @@ documented functional substitute for bootstrapping.  Level management
 the same evaluator runs both RNS-CKKS and BitPacker.
 """
 
-from repro.ckks.ciphertext import Ciphertext, Plaintext
-from repro.ckks.context import CkksContext
-from repro.ckks.encoder import CkksEncoder, encoder_for
-from repro.ckks.encryptor import Decryptor, Encryptor
-from repro.ckks.evaluator import Evaluator
-from repro.ckks.evalmod import EvalModConfig, eval_mod
-from repro.ckks.homdft import coeff_to_slot, slot_to_coeff
 from repro.ckks.bootstrap_pipeline import (
     PipelineConfig,
     bootstrap_homomorphic,
     mod_raise,
 )
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.context import CkksContext
+from repro.ckks.encoder import CkksEncoder, encoder_for
+from repro.ckks.encryptor import Decryptor, Encryptor
+from repro.ckks.evalmod import EvalModConfig, eval_mod
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.homdft import coeff_to_slot, slot_to_coeff
 from repro.ckks.keys import KeyChest, KeySwitchKey, PublicKey, SecretKey
 from repro.ckks.linalg import PlainMatrix, inner_product_plain, matvec, sum_slots
 from repro.ckks.noise import NoiseEstimate, NoiseModel

@@ -20,8 +20,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.ckks.ciphertext import Ciphertext
 from repro.ckks.context import CkksContext
 from repro.errors import ParameterError

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from fractions import Fraction
 
+from repro.analysis import sanitize as _sanitize
 from repro.rns.basis import RnsBasis
 from repro.rns.poly import RnsPolynomial
 
@@ -43,6 +44,10 @@ class Ciphertext:
     level: int
     scale: Fraction
 
+    def __post_init__(self):
+        if _sanitize.ACTIVE:
+            _sanitize.check_ciphertext(self)
+
     @property
     def basis(self) -> RnsBasis:
         return self.c0.basis
@@ -58,8 +63,9 @@ class Ciphertext:
 
     @property
     def log2_scale(self) -> float:
-        from repro.nt.floatext import fraction_to_longdouble
         import numpy as np
+
+        from repro.nt.floatext import fraction_to_longdouble
 
         return float(np.log2(fraction_to_longdouble(self.scale)))
 

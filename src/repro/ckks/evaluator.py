@@ -9,11 +9,9 @@ other operations are exactly the same as in RNS-CKKS" (Sec. 3.1).
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING
 
-import numpy as np
-
-from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.ciphertext import Ciphertext
 from repro.ckks.encoder import CkksEncoder
 from repro.ckks.keys import KeyChest, KeySwitchKey
 from repro.errors import ParameterError, ScaleMismatchError

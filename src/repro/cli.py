@@ -7,6 +7,7 @@ Usage (``python -m repro ...``)::
     python -m repro compare --word 28
     python -m repro figure fig11 fig15
     python -m repro list-figures
+    python -m repro lint src/repro --traces
 """
 
 from __future__ import annotations
@@ -15,7 +16,7 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
-from repro.schemes import plan_bitpacker_chain, plan_chain, plan_rns_ckks_chain
+from repro.schemes import plan_chain
 
 #: Figure/table name -> (module path, expected runtime note).
 FIGURES: dict[str, tuple[str, str]] = {
@@ -65,6 +66,26 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("names", nargs="+", choices=sorted(FIGURES))
 
     sub.add_parser("list-figures", help="list available experiments")
+
+    lint = sub.add_parser(
+        "lint", help="run the fhelint static passes (and trace checks)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--rules", nargs="+", default=None, metavar="RULE",
+        help="run only these rule ids (default: all)",
+    )
+    lint.add_argument(
+        "--traces", action="store_true",
+        help="also lint the bundled workload traces for FHE-schedule bugs",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rule ids and exit",
+    )
     return parser
 
 
@@ -119,11 +140,32 @@ def _cmd_list_figures(_args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import (
+        all_passes,
+        check_traces,
+        render_report,
+        run_lint,
+        workload_traces,
+    )
+
+    if args.list_rules:
+        for lint_pass in all_passes():
+            print(f"{lint_pass.rule:20s} {lint_pass.description}")
+        return 0
+    findings = run_lint(args.paths, rules=args.rules)
+    if args.traces:
+        findings = findings + check_traces(workload_traces())
+    print(render_report(findings))
+    return 1 if findings else 0
+
+
 _COMMANDS: dict[str, Callable] = {
     "plan": _cmd_plan,
     "compare": _cmd_compare,
     "figure": _cmd_figure,
     "list-figures": _cmd_list_figures,
+    "lint": _cmd_lint,
 }
 
 

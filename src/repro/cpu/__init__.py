@@ -1,5 +1,5 @@
 """CPU cost model for CKKS (paper Fig. 13)."""
 
-from repro.cpu.model import CpuModel, CpuResult, DEFAULT_CPU_MODEL
+from repro.cpu.model import DEFAULT_CPU_MODEL, CpuModel, CpuResult
 
 __all__ = ["CpuModel", "CpuResult", "DEFAULT_CPU_MODEL"]

@@ -42,3 +42,12 @@ class NotOnChainError(ReproError):
 
 class SimulationError(ReproError):
     """The accelerator model was driven with an inconsistent trace."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime sanitizer check failed (see :mod:`repro.analysis.sanitize`).
+
+    Raised only when the sanitizer is active (``REPRO_SANITIZE=1`` or
+    :func:`repro.analysis.sanitize.enable`); with it disabled the checks
+    are skipped entirely, so library hot paths pay nothing.
+    """

@@ -13,9 +13,10 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterable, Sequence
 
-from repro.accel.config import AcceleratorConfig, craterlake
+from repro.accel.config import craterlake
 from repro.accel.sim import AcceleratorSim, SimResult
 from repro.cpu.model import DEFAULT_CPU_MODEL, CpuResult
+from repro.errors import ParameterError
 from repro.schemes import plan_bitpacker_chain, plan_rns_ckks_chain
 from repro.schemes.chain import ModulusChain
 from repro.trace.program import HeTrace
@@ -35,7 +36,7 @@ EVAL_MAX_LOG_Q = 1596.0
 def gmean(values: Iterable[float]) -> float:
     vals = [float(v) for v in values]
     if not vals:
-        raise ValueError("gmean of empty sequence")
+        raise ParameterError("gmean of empty sequence")
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 

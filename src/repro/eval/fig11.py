@@ -8,8 +8,8 @@ with larger gains for the small-scale workloads (SqueezeNet, LogReg).
 from __future__ import annotations
 
 from repro.eval.common import (
-    ComparisonRow,
     WORKLOAD_GRID,
+    ComparisonRow,
     format_table,
     gmean,
     simulate,

@@ -9,8 +9,8 @@ paper, far below the accelerator's 59%.
 from __future__ import annotations
 
 from repro.eval.common import (
-    ComparisonRow,
     WORKLOAD_GRID,
+    ComparisonRow,
     format_table,
     gmean,
     simulate_cpu,

@@ -14,32 +14,32 @@ exact arithmetic primitives every higher layer builds on:
   representatives, used for exact decode and for test oracles.
 """
 
-from repro.nt.primes import (
-    is_prime,
-    is_ntt_friendly,
-    ntt_friendly_primes_below,
-    all_ntt_friendly_primes,
-    terminal_prime_candidates,
+from repro.nt.crt import (
+    centered,
+    centered_vector,
+    crt_reconstruct,
+    crt_reconstruct_vector,
 )
 from repro.nt.modmath import (
     BIG_MODULUS_THRESHOLD,
-    dtype_for_modulus,
     as_mod_array,
+    dtype_for_modulus,
     mod_add,
-    mod_sub,
-    mod_neg,
-    mod_mul,
-    mod_scalar_mul,
     mod_inv,
+    mod_mul,
+    mod_neg,
     mod_pow,
+    mod_scalar_mul,
+    mod_sub,
     uniform_mod,
 )
 from repro.nt.ntt import NttContext, ntt_context
-from repro.nt.crt import (
-    crt_reconstruct,
-    crt_reconstruct_vector,
-    centered,
-    centered_vector,
+from repro.nt.primes import (
+    all_ntt_friendly_primes,
+    is_ntt_friendly,
+    is_prime,
+    ntt_friendly_primes_below,
+    terminal_prime_candidates,
 )
 
 __all__ = [

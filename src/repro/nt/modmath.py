@@ -109,12 +109,26 @@ def as_mod_array(values, q: int) -> np.ndarray:
     """Coerce ``values`` to a reduced residue vector mod ``q``.
 
     Accepts lists of ints, numpy integer arrays, or object arrays; values
-    may be negative or unreduced.
+    may be negative or unreduced.  Inexact (float) arrays are rejected:
+    a residue that went through float64 has already lost low bits for
+    values at or above 2^53, and reducing it would silently corrupt the
+    polynomial.  Plain Python sequences never touch float either —
+    ``np.asarray([2**63 + 1])`` promotes to float64, so sequences reduce
+    through exact Python ints instead.
     """
     dtype = dtype_for_modulus(q)
     if dtype is object:
         return np.array([int(v) % q for v in values], dtype=object)
-    arr = np.asarray(values)
+    if not isinstance(values, np.ndarray):
+        # Exact path: asarray on a list of ints in [2^63, 2^64) yields
+        # float64 and silently rounds the values.
+        return np.array([int(v) % q for v in values], dtype=np.uint64)
+    arr = values
+    if arr.dtype.kind == "f":
+        raise ParameterError(
+            "as_mod_array got a float array; residues must arrive exact "
+            "(convert with exact ints upstream)"
+        )
     if arr.dtype == np.uint64:
         return arr % np.uint64(q)
     if arr.dtype.kind in "iu":
@@ -140,7 +154,7 @@ def _is_big(a: np.ndarray) -> bool:
 def mod_add(a: np.ndarray, b: np.ndarray, q) -> np.ndarray:
     """``(a + b) mod q`` elementwise."""
     if _is_big(a):
-        return (a + b) % q
+        return (a + b) % q  # fhelint: ok[overflow-hazard] object rows: exact ints
     qa = _q_arr(q)
     s = a + b  # < 2^62, no wrap
     return np.where(s >= qa, s - qa, s)
@@ -149,7 +163,7 @@ def mod_add(a: np.ndarray, b: np.ndarray, q) -> np.ndarray:
 def mod_sub(a: np.ndarray, b: np.ndarray, q) -> np.ndarray:
     """``(a - b) mod q`` elementwise."""
     if _is_big(a):
-        return (a - b) % q
+        return (a - b) % q  # fhelint: ok[overflow-hazard] object rows: exact ints
     qa = _q_arr(q)
     s = a + (qa - b)
     return np.where(s >= qa, s - qa, s)
@@ -158,7 +172,7 @@ def mod_sub(a: np.ndarray, b: np.ndarray, q) -> np.ndarray:
 def mod_neg(a: np.ndarray, q) -> np.ndarray:
     """``(-a) mod q`` elementwise."""
     if _is_big(a):
-        return (-a) % q
+        return (-a) % q  # fhelint: ok[overflow-hazard] object rows: exact ints
     qa = _q_arr(q)
     return np.where(a == 0, np.uint64(0), qa - a)
 
@@ -198,9 +212,9 @@ def _mulmod_wide(a: np.ndarray, b, q, bf=None, qf=None) -> np.ndarray:
 def mod_mul(a: np.ndarray, b: np.ndarray, q) -> np.ndarray:
     """``(a * b) mod q`` elementwise (exact for all backends)."""
     if _is_big(a):
-        return (a * b) % q
+        return (a * b) % q  # fhelint: ok[overflow-hazard] object rows: exact ints
     if _q_bound(q) < _NARROW_THRESHOLD:
-        return a * b % _q_arr(q)
+        return a * b % _q_arr(q)  # fhelint: ok[overflow-hazard] narrow: < 2^62
     return _mulmod_wide(a, b, q)
 
 
@@ -218,9 +232,10 @@ def mod_scalar_mul(a: np.ndarray, k: int, q: int) -> np.ndarray:
     """``(a * k) mod q`` for a scalar ``k`` (any size; reduced first)."""
     k %= q
     if _is_big(a):
-        return (a * k) % q
+        return (a * k) % q  # fhelint: ok[overflow-hazard] object rows: exact ints
     if q < _NARROW_THRESHOLD:
-        return a * np.uint64(k) % np.uint64(q)
+        # Narrow backend: both a and k sit below 2^31.
+        return a * np.uint64(k) % np.uint64(q)  # fhelint: ok[overflow-hazard]
     return _mulmod_wide(a, np.uint64(k), q)
 
 

@@ -30,6 +30,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis import sanitize as _sanitize
 from repro.errors import ParameterError
 from repro.nt import modmath
 from repro.nt.primes import is_ntt_friendly
@@ -78,7 +79,9 @@ def _psi_tables(q: int, n: int) -> tuple[list[int], list[int], int]:
 
 def _as_table(values: list[int], q: int) -> np.ndarray:
     if modmath.dtype_for_modulus(q) is object:
-        out = np.empty(len(values), dtype=object)
+        # Twiddle tables, not residue storage; dtype already routed by
+        # the dtype_for_modulus call one line up.
+        out = np.empty(len(values), dtype=object)  # fhelint: ok[dtype-routing]
         out[:] = values
         return out
     return np.array(values, dtype=np.uint64)
@@ -308,9 +311,13 @@ def ntt_rows_context(moduli: tuple[int, ...], n: int) -> NttRowsContext:
 
 def forward_rows(mat: np.ndarray, moduli: Sequence[int]) -> np.ndarray:
     """Forward NTT of every row of a ``(k, n)`` residue matrix at once."""
+    if _sanitize.ACTIVE:
+        _sanitize.check_residue_matrix(mat, moduli, "forward_rows")
     return ntt_rows_context(tuple(int(q) for q in moduli), mat.shape[-1]).forward(mat)
 
 
 def inverse_rows(mat: np.ndarray, moduli: Sequence[int]) -> np.ndarray:
     """Inverse NTT of every row of a ``(k, n)`` residue matrix at once."""
+    if _sanitize.ACTIVE:
+        _sanitize.check_residue_matrix(mat, moduli, "inverse_rows")
     return ntt_rows_context(tuple(int(q) for q in moduli), mat.shape[-1]).inverse(mat)

@@ -16,17 +16,17 @@ one per prime (paper Sec. 2.3).  This package provides:
 """
 
 from repro.rns.basis import RnsBasis
-from repro.rns.poly import RnsPolynomial
 from repro.rns.convert import (
     base_convert,
-    scale_up,
-    scale_down,
     drop_moduli,
+    scale_down,
+    scale_up,
 )
+from repro.rns.poly import RnsPolynomial
 from repro.rns.sampling import (
-    sample_uniform,
-    sample_ternary,
     sample_gaussian,
+    sample_ternary,
+    sample_uniform,
 )
 
 __all__ = [

@@ -56,7 +56,9 @@ class RnsBasis:
         """The cached NTT context for residue row ``index``."""
         return ntt_context(self.moduli[index], self.n)
 
-    def backend_groups(self) -> tuple[tuple[str, tuple[int, ...], np.ndarray | None], ...]:
+    def backend_groups(
+        self,
+    ) -> tuple[tuple[str, tuple[int, ...], np.ndarray | None], ...]:
         """Residue rows grouped by modmath backend, for matrix-at-a-time ops.
 
         Returns ``(kind, indices, q_col)`` triples where ``kind`` is one of

@@ -22,25 +22,11 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis import sanitize as _sanitize
 from repro.errors import ParameterError
 from repro.nt import modmath
 from repro.rns.basis import RnsBasis, crt_weights
 from repro.rns.poly import COEFF, RnsPolynomial
-
-
-def _float_matrix(rows: Sequence[np.ndarray]) -> np.ndarray:
-    """Stack residue rows into a ``(k, n)`` float64 matrix.
-
-    uint64 rows convert with a single vectorized ``astype``; only object
-    (big-int) rows need the per-element Python-float path.
-    """
-    out = np.empty((len(rows), len(rows[0])), dtype=np.float64)
-    for i, row in enumerate(rows):
-        if row.dtype == object:
-            out[i] = [float(int(v)) for v in row]
-        else:
-            out[i] = row.astype(np.float64)
-    return out
 
 
 def base_convert(
@@ -69,6 +55,8 @@ def base_convert(
     """
     if poly.domain != COEFF:
         raise ParameterError("base_convert requires coefficient domain")
+    if _sanitize.ACTIVE:
+        _sanitize.check_poly(poly, where="base_convert input")
     src = poly.basis
     n = src.n
     k = src.size
@@ -167,7 +155,10 @@ def base_convert(
                     stack = w
                 prod_max = max(vmax, p - 1) * (p - 1)
                 chunk = max(1, ((1 << 64) - 1) // (prod_max + 1))
-                prods = stack * np.array(h_u64, dtype=np.uint64)[:, None]
+                # The pre-reduction guard above caps every product at
+                # prod_max < 2^64; chunking bounds the running sums.
+                weights = np.array(h_u64, dtype=np.uint64)[:, None]
+                prods = stack * weights  # fhelint: ok[overflow-hazard]
                 total = prods[:chunk].sum(axis=0, dtype=np.uint64) % pu
                 for c0 in range(chunk, kk, chunk):
                     # Each reduced chunk sum is < p < 2^31; a handful of
@@ -199,7 +190,9 @@ def base_convert(
                     # α ≤ k, so α·(-Q mod p) fits uint64 whenever
                     # (k+1)·p < 2^64 — skip the longdouble multiply.
                     if (k + 1) * p < (1 << 64):
-                        corr = alpha_u * np.uint64(neg_q) % pu
+                        # Guarded above: alpha <= k, so the product and
+                        # the pre-reduction value stay under 2^64.
+                        corr = alpha_u * np.uint64(neg_q) % pu  # fhelint: ok
                     else:
                         corr = modmath.mod_mul(alpha_u, neg_q, p)
                     acc_row = modmath.mod_add(acc_row, corr, p)

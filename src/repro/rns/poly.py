@@ -22,10 +22,11 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.analysis import sanitize as _sanitize
 from repro.errors import ParameterError, ScaleMismatchError
 from repro.nt import modmath
 from repro.nt import ntt as ntt_kernels
-from repro.nt.crt import crt_reconstruct_vector, centered_vector
+from repro.nt.crt import centered_vector, crt_reconstruct_vector
 from repro.rns.basis import RnsBasis
 
 COEFF = "coeff"
@@ -48,6 +49,8 @@ class RnsPolynomial:
         self.rows = list(rows)
         self.domain = domain
         self._mats: dict | None = None
+        if _sanitize.ACTIVE:
+            _sanitize.check_poly(self)
 
     # ------------------------------------------------------------------
     # Constructors

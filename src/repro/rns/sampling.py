@@ -16,7 +16,7 @@ import numpy as np
 from repro.errors import ParameterError
 from repro.nt import modmath
 from repro.rns.basis import RnsBasis
-from repro.rns.poly import COEFF, NTT, RnsPolynomial
+from repro.rns.poly import NTT, RnsPolynomial
 
 #: Standard deviation of the encryption error, the value used by the
 #: homomorphic encryption standard and by Lattigo/OpenFHE.

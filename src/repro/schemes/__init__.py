@@ -7,13 +7,14 @@ functional evaluator, the accelerator model, the workloads — treats the
 two schemes interchangeably.
 """
 
-from repro.schemes.chain import LevelSpec, ModulusChain
-from repro.schemes.rns_ckks import RnsCkksChain, plan_rns_ckks_chain
+from repro.errors import ParameterError
 from repro.schemes.bitpacker import (
     BitPackerChain,
     greedy_terminal_primes,
     plan_bitpacker_chain,
 )
+from repro.schemes.chain import LevelSpec, ModulusChain
+from repro.schemes.rns_ckks import RnsCkksChain, plan_rns_ckks_chain
 from repro.schemes.security import check_security, max_log_qp, required_degree
 
 __all__ = [
@@ -36,4 +37,4 @@ def plan_chain(scheme: str, *args, **kwargs) -> ModulusChain:
         return plan_rns_ckks_chain(*args, **kwargs)
     if scheme == "bitpacker":
         return plan_bitpacker_chain(*args, **kwargs)
-    raise ValueError(f"unknown scheme {scheme!r}")
+    raise ParameterError(f"unknown scheme {scheme!r}")

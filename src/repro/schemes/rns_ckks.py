@@ -22,6 +22,7 @@ from typing import Sequence
 
 from repro.ckks.ciphertext import Ciphertext
 from repro.errors import LevelExhaustedError, ParameterError, PlanningError
+from repro.nt.primes import terminal_prime_candidates
 from repro.rns.convert import drop_moduli, scale_down
 from repro.schemes.chain import (
     LevelSpec,
@@ -29,7 +30,6 @@ from repro.schemes.chain import (
     canonicalize_scale,
     replace_ciphertext,
 )
-from repro.nt.primes import terminal_prime_candidates
 from repro.schemes.selection import (
     ACCEPTANCE_WINDOWS,
     choose_special_moduli,

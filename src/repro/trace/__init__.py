@@ -7,6 +7,6 @@ correctness and precision) or the accelerator/CPU cost models (``n =
 benchmark.
 """
 
-from repro.trace.program import HeTrace, OpKind, TraceOp, TraceBuilder
+from repro.trace.program import HeTrace, OpKind, TraceBuilder, TraceOp
 
 __all__ = ["HeTrace", "OpKind", "TraceOp", "TraceBuilder"]

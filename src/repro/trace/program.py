@@ -34,12 +34,19 @@ LEVEL_MANAGEMENT_KINDS = frozenset({OpKind.RESCALE, OpKind.ADJUST})
 
 @dataclass(frozen=True)
 class TraceOp:
-    """``count`` occurrences of one op at one level."""
+    """``count`` occurrences of one op at one level.
+
+    ``scale_bits`` optionally records the log2 scale the program expects
+    its operands to carry at this op; when present, the schedule linter
+    (:mod:`repro.analysis.schedule`) cross-checks it against the level's
+    canonical scale to catch add/mul scale mismatches statically.
+    """
 
     kind: OpKind
     level: int
     count: float = 1.0
     dst_level: int | None = None  # ADJUST only
+    scale_bits: float | None = None  # operand scale, if the program records it
 
     def __post_init__(self):
         if self.kind is OpKind.ADJUST and self.dst_level is None:
@@ -117,9 +124,10 @@ class TraceBuilder:
 
     # Recording helpers ----------------------------------------------------
     def record(self, kind: OpKind, level: int, count: float = 1.0,
-               dst_level: int | None = None) -> None:
+               dst_level: int | None = None,
+               scale_bits: float | None = None) -> None:
         if count:
-            self._ops.append(TraceOp(kind, level, count, dst_level))
+            self._ops.append(TraceOp(kind, level, count, dst_level, scale_bits))
 
     def hmul(self, level: int, count: float = 1.0) -> None:
         self.record(OpKind.HMUL, level, count)

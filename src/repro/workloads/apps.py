@@ -127,7 +127,8 @@ def resnet20(
     ks_digits: int = 3,
 ) -> HeTrace:
     """ResNet-20 with minimax ReLU (deep; frequent bootstrapping)."""
-    w = _walker("ResNet-20", RESNET_SCALE_BITS, schedule, n, max_log_q, scheme, word_bits, ks_digits)
+    w = _walker("ResNet-20", RESNET_SCALE_BITS, schedule, n, max_log_q,
+                scheme, word_bits, ks_digits)
     _resnet_backbone(w, _relu_minimax)
     return w.build()
 
@@ -141,7 +142,8 @@ def resnet20_aespa(
     ks_digits: int = 3,
 ) -> HeTrace:
     """ResNet-20 with AESPA degree-2 activations (shallow; few boots)."""
-    w = _walker("ResNet-20+AESPA", RESNET_SCALE_BITS, schedule, n, max_log_q, scheme, word_bits, ks_digits)
+    w = _walker("ResNet-20+AESPA", RESNET_SCALE_BITS, schedule, n, max_log_q,
+                scheme, word_bits, ks_digits)
     _resnet_backbone(w, _aespa_activation)
     return w.build()
 
@@ -161,7 +163,8 @@ def rnn(
     ~2·sqrt(128) rotations and 128 plaintext diagonal multiplies each)
     and a degree-3 activation (2 multiplicative levels).
     """
-    w = _walker("RNN", RNN_SCALE_BITS, schedule, n, max_log_q, scheme, word_bits, ks_digits)
+    w = _walker("RNN", RNN_SCALE_BITS, schedule, n, max_log_q,
+                scheme, word_bits, ks_digits)
     for _step in range(200):
         w.ensure(3)
         # W_hh · h and W_ih · x, evaluated together on packed operands.
@@ -188,7 +191,8 @@ def squeezenet(
     Eight fire modules (squeeze 1x1 + expand 1x1/3x3) between a stem and
     a classifier conv; all activations degree-2.
     """
-    w = _walker("SqueezeNet", SQUEEZENET_SCALE_BITS, schedule, n, max_log_q, scheme, word_bits, ks_digits)
+    w = _walker("SqueezeNet", SQUEEZENET_SCALE_BITS, schedule, n, max_log_q,
+                scheme, word_bits, ks_digits)
     _conv_layer(w, rot=10.0, pmul=12.0)  # stem
     _aespa_activation(w)
     for _fire in range(8):
@@ -217,7 +221,8 @@ def logreg(
     sigmoid approximation, the gradient ``X^T·v`` (rotation-based column
     sums), and the Nesterov momentum update.
     """
-    w = _walker("LogReg", LOGREG_SCALE_BITS, schedule, n, max_log_q, scheme, word_bits, ks_digits)
+    w = _walker("LogReg", LOGREG_SCALE_BITS, schedule, n, max_log_q,
+                scheme, word_bits, ks_digits)
     for _iteration in range(32):
         w.ensure(4)
         w.ops(pmul=4.0, rot=8.0, hadd=8.0)  # X·w row sums

@@ -5,15 +5,15 @@ import math
 import pytest
 
 from repro.accel import (
-    AcceleratorSim,
     DEFAULT_AREA_MODEL,
     DEFAULT_ENERGY_MODEL,
+    AcceleratorSim,
     ark_like,
     craterlake,
+    kernels,
     sharp_like,
     word_size_sweep,
 )
-from repro.accel import kernels
 from repro.accel.area import CRATERLAKE_AREA_28, CRATERLAKE_AREA_64
 from repro.errors import ParameterError, SimulationError
 from repro.schemes import plan_bitpacker_chain

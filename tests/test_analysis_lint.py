@@ -1,0 +1,332 @@
+"""fhelint tests: every pass catches its seeded fixture and stays quiet
+on clean code, pragmas suppress, and the repo itself lints clean."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.core import (
+    SourceModule,
+    lint_source,
+    passes_for,
+    run_lint,
+)
+from repro.analysis.schedule import check_trace, check_traces, workload_traces
+from repro.cli import main
+from repro.errors import ParameterError
+from repro.trace.program import HeTrace, OpKind, TraceBuilder, TraceOp
+
+
+def lint_str(source, rules, path="fixture.py"):
+    module = SourceModule(path, textwrap.dedent(source))
+    return lint_source(module, passes_for(rules))
+
+
+class TestOverflowPass:
+    def test_product_of_uint64_arrays_flagged(self):
+        findings = lint_str(
+            """
+            import numpy as np
+
+            def f(q):
+                a = np.zeros(8, dtype=np.uint64)
+                b = np.zeros(8, dtype=np.uint64)
+                return a * b % q
+            """,
+            ["overflow-hazard"],
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "overflow-hazard"
+
+    def test_unreduced_sum_reduction_flagged(self):
+        findings = lint_str(
+            """
+            import numpy as np
+
+            def f(a: np.ndarray, b: np.ndarray, q):
+                return (a + b) % q
+            """,
+            ["overflow-hazard"],
+        )
+        assert len(findings) == 1
+        assert "mod_add" in findings[0].message
+
+    def test_scalar_uint64_partner_flagged(self):
+        findings = lint_str(
+            """
+            import numpy as np
+
+            def f(a: np.ndarray, k, q):
+                return a * np.uint64(k) % np.uint64(q)
+            """,
+            ["overflow-hazard"],
+        )
+        assert len(findings) == 1
+
+    def test_float_arrays_not_flagged(self):
+        findings = lint_str(
+            """
+            import numpy as np
+
+            def f():
+                a = np.zeros(8, dtype=np.float64)
+                return a * a
+            """,
+            ["overflow-hazard"],
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = lint_str(
+            """
+            import numpy as np
+
+            def f(a: np.ndarray, b: np.ndarray, q):
+                return a * b % q  # fhelint: ok[overflow-hazard] both < 2^31
+            """,
+            ["overflow-hazard"],
+        )
+        assert findings == []
+
+    def test_file_disable_pragma(self):
+        findings = lint_str(
+            """
+            # fhelint: disable[overflow-hazard]
+            import numpy as np
+
+            def f(a: np.ndarray, b: np.ndarray, q):
+                return a * b % q
+            """,
+            ["overflow-hazard"],
+        )
+        assert findings == []
+
+
+class TestDtypeRoutingPass:
+    def test_object_ctor_flagged(self):
+        findings = lint_str(
+            """
+            import numpy as np
+
+            def f(n):
+                return np.empty(n, dtype=object)
+            """,
+            ["dtype-routing"],
+        )
+        assert len(findings) == 1
+        assert "modmath" in findings[0].message
+
+    def test_object_ctor_allowed_in_modmath(self):
+        findings = lint_str(
+            """
+            import numpy as np
+
+            def zeros(n):
+                return np.empty(n, dtype=object)
+            """,
+            ["dtype-routing"],
+            path="src/repro/nt/modmath.py",
+        )
+        assert findings == []
+
+    def test_handrolled_threshold_dispatch_flagged(self):
+        findings = lint_str(
+            """
+            def pick(q):
+                if q >= 1 << 61:
+                    return object
+                return None
+            """,
+            ["dtype-routing"],
+        )
+        assert len(findings) == 1
+        assert "dtype_for_modulus" in findings[0].message
+
+    def test_astype_truncation_flagged(self):
+        findings = lint_str(
+            """
+            import numpy as np
+
+            def f(n):
+                big = np.empty(n, dtype=object)  # fhelint: ok[dtype-routing]
+                return big.astype(np.uint64)
+            """,
+            ["dtype-routing"],
+        )
+        assert len(findings) == 1
+        assert "truncat" in findings[0].message
+
+    def test_mixed_stack_flagged(self):
+        findings = lint_str(
+            """
+            import numpy as np
+
+            def f(n):
+                small = np.zeros(n, dtype=np.uint64)
+                big = np.empty(n, dtype=object)  # fhelint: ok[dtype-routing]
+                return np.stack([small, big])
+            """,
+            ["dtype-routing"],
+        )
+        assert len(findings) == 1
+
+    def test_uniform_stack_clean(self):
+        findings = lint_str(
+            """
+            import numpy as np
+
+            def f(n):
+                a = np.zeros(n, dtype=np.uint64)
+                b = np.zeros(n, dtype=np.uint64)
+                return np.stack([a, b])
+            """,
+            ["dtype-routing"],
+        )
+        assert findings == []
+
+
+class TestExceptionHygienePass:
+    def test_assert_flagged(self):
+        findings = lint_str(
+            """
+            def f(x):
+                assert x > 0
+                return x
+            """,
+            ["exception-hygiene"],
+        )
+        assert len(findings) == 1
+        assert "assert" in findings[0].message
+
+    def test_builtin_raise_flagged(self):
+        findings = lint_str(
+            """
+            def f(x):
+                raise ValueError("bad x")
+            """,
+            ["exception-hygiene"],
+        )
+        assert len(findings) == 1
+        assert "ValueError" in findings[0].message
+
+    def test_repro_errors_and_reraise_clean(self):
+        findings = lint_str(
+            """
+            from repro.errors import ParameterError
+
+            def f(x):
+                try:
+                    g(x)
+                except OSError:
+                    raise
+                raise ParameterError("bad x")
+
+            def h():
+                raise NotImplementedError
+            """,
+            ["exception-hygiene"],
+        )
+        assert findings == []
+
+
+class TestDriver:
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ParameterError, match="unknown lint rules"):
+            passes_for(["no-such-rule"])
+
+    def test_parse_error_becomes_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        findings = run_lint([bad])
+        assert len(findings) == 1
+        assert findings[0].rule == "parse-error"
+
+    def test_repo_is_clean(self):
+        assert run_lint(["src/repro"]) == []
+
+
+class TestScheduleChecker:
+    def _trace(self, ops, levels=3):
+        return HeTrace(
+            name="fixture",
+            n=1024,
+            base_bits=60.0,
+            level_scale_bits=tuple(30.0 for _ in range(levels + 1)),
+            ops=ops,
+        )
+
+    def test_below_level_zero_flagged(self):
+        trace = self._trace([TraceOp(OpKind.HMUL, -1)])
+        findings = check_trace(trace)
+        assert [f.rule for f in findings] == ["trace-level-range"]
+        assert "bootstrap" in findings[0].message
+
+    def test_terminal_rescale_flagged(self):
+        trace = self._trace([TraceOp(OpKind.RESCALE, 0)])
+        findings = check_trace(trace)
+        assert [f.rule for f in findings] == ["trace-terminal-rescale"]
+
+    def test_adjust_up_flagged(self):
+        trace = self._trace([TraceOp(OpKind.ADJUST, 1, dst_level=2)])
+        findings = check_trace(trace)
+        assert [f.rule for f in findings] == ["trace-adjust-up"]
+
+    def test_scale_mismatch_flagged(self):
+        # An hadd whose operands still carry the doubled post-mul scale.
+        trace = self._trace([TraceOp(OpKind.HADD, 2, scale_bits=60.0)])
+        findings = check_trace(trace)
+        assert [f.rule for f in findings] == ["trace-scale-mismatch"]
+        assert "rescale" in findings[0].message
+
+    def test_canonical_scale_clean(self):
+        trace = self._trace(
+            [
+                TraceOp(OpKind.HMUL, 2, scale_bits=30.0),
+                TraceOp(OpKind.RESCALE, 2),
+                TraceOp(OpKind.HADD, 1, scale_bits=30.0),
+            ]
+        )
+        assert check_trace(trace) == []
+
+    def test_builder_records_scale_bits(self):
+        b = TraceBuilder("t", n=1024, base_bits=60.0,
+                         level_scale_bits=(30.0, 30.0))
+        b.record(OpKind.HADD, 1, scale_bits=30.0)
+        assert b.build().ops[0].scale_bits == 30.0
+
+    def test_bundled_workload_traces_clean(self):
+        traces = workload_traces()
+        assert traces  # every app x bootstrap x scheme
+        assert check_traces(traces) == []
+
+
+class TestLintCli:
+    def test_clean_repo_exits_zero(self, capsys):
+        rc = main(["lint", "src/repro"])
+        assert rc == 0
+        assert "fhelint: clean" in capsys.readouterr().out
+
+    def test_seeded_violation_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x):\n    assert x\n")
+        rc = main(["lint", str(bad)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "exception-hygiene" in out
+
+    def test_rule_filter(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x):\n    assert x\n")
+        rc = main(["lint", str(bad), "--rules", "overflow-hazard"])
+        assert rc == 0
+
+    def test_traces_flag(self, capsys):
+        rc = main(["lint", "src/repro/analysis", "--traces"])
+        assert rc == 0
+
+    def test_list_rules(self, capsys):
+        rc = main(["lint", "--list-rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for rule in ("overflow-hazard", "dtype-routing", "exception-hygiene"):
+            assert rule in out

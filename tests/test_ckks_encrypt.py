@@ -1,7 +1,6 @@
 """Unit tests for encryption/decryption and key material."""
 
 import numpy as np
-import pytest
 
 from repro.ckks.keys import SecretKey, galois_int_coeffs, split_into_digits
 from tests.conftest import make_values

@@ -10,7 +10,12 @@ from repro.ckks.bootstrap_pipeline import (
     mod_raise,
 )
 from repro.ckks.evalmod import EvalModConfig
-from repro.ckks.homdft import coeff_to_slot, decode_matrix, homdft_matrices, slot_to_coeff
+from repro.ckks.homdft import (
+    coeff_to_slot,
+    decode_matrix,
+    homdft_matrices,
+    slot_to_coeff,
+)
 from repro.schemes import plan_bitpacker_chain
 
 

@@ -1,6 +1,5 @@
 """The analytic noise model must upper-bound measured noise."""
 
-import numpy as np
 import pytest
 
 from repro.ckks.noise import NoiseModel

@@ -7,6 +7,7 @@ absolute numbers.
 
 import pytest
 
+from repro.errors import ParameterError
 from repro.eval import (
     area_reduction,
     common,
@@ -30,7 +31,7 @@ WORDS = (28, 44, 64)  # reduced sweep for test speed
 class TestCommon:
     def test_gmean(self):
         assert common.gmean([1.0, 4.0]) == pytest.approx(2.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ParameterError):
             common.gmean([])
 
     def test_grid_is_ten_workloads(self):

@@ -5,7 +5,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ParameterError
-from repro.nt.crt import centered, centered_vector, crt_reconstruct, crt_reconstruct_vector
+from repro.nt.crt import (
+    centered,
+    centered_vector,
+    crt_reconstruct,
+    crt_reconstruct_vector,
+)
 
 MODULI = (257, 263, 269)
 

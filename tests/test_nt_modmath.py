@@ -92,6 +92,41 @@ class TestBackends:
         assert all(0 <= int(v) < q for v in samples)
 
 
+class TestAsModArrayExactness:
+    """Pins the overflow/precision hazards fixed alongside fhelint."""
+
+    def test_huge_list_ints_stay_exact(self):
+        # Values in [2^63, 2^64) used to ride through float64 on the
+        # sequence path, rounding the low bits away before reduction.
+        q = WIDE_Q
+        vals = [2**63 + 1, 2**64 - 1, 2**63 + q]
+        got = modmath.as_mod_array(vals, q)
+        assert [int(v) for v in got] == [v % q for v in vals]
+
+    def test_huge_negative_ints_stay_exact(self):
+        q = WIDE_Q
+        vals = [-(2**63) - 1, -(2**64) + 3]
+        got = modmath.as_mod_array(vals, q)
+        assert [int(v) for v in got] == [v % q for v in vals]
+
+    def test_float_array_rejected(self):
+        # A float ndarray has already lost exactness; reducing it would
+        # silently bake rounding error into a residue row.
+        with pytest.raises(ParameterError, match="float"):
+            modmath.as_mod_array(np.array([1.0, 2.0]), NARROW_Q)
+
+    def test_uint64_array_roundtrip(self):
+        arr = np.array([0, 1, NARROW_Q - 1, NARROW_Q], dtype=np.uint64)
+        got = modmath.as_mod_array(arr, NARROW_Q)
+        assert [int(v) for v in got] == [0, 1, NARROW_Q - 1, 0]
+        assert got.dtype == np.uint64
+
+    def test_big_modulus_returns_object_rows(self):
+        got = modmath.as_mod_array([2**62, -1], BIG_Q)
+        assert got.dtype == object
+        assert [int(v) for v in got] == [2**62 % BIG_Q, BIG_Q - 1]
+
+
 class TestModInv:
     def test_inverse(self):
         q = NARROW_Q

@@ -1,7 +1,5 @@
 """Unit and property tests for the negacyclic NTT."""
 
-from itertools import islice
-
 import numpy as np
 import pytest
 from hypothesis import given, settings

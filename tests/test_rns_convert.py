@@ -1,6 +1,5 @@
 """Unit tests for base conversion and scale-up/scale-down (Listings 3, 5)."""
 
-from fractions import Fraction
 from itertools import islice
 from math import prod
 

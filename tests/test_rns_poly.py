@@ -2,7 +2,6 @@
 
 from itertools import islice
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -10,7 +9,7 @@ from hypothesis import strategies as st
 from repro.errors import ParameterError, ScaleMismatchError
 from repro.nt.primes import ntt_friendly_primes_below
 from repro.rns.basis import RnsBasis, crt_weights
-from repro.rns.poly import COEFF, NTT, RnsPolynomial
+from repro.rns.poly import RnsPolynomial
 
 N = 32
 MODULI = tuple(islice(ntt_friendly_primes_below(1 << 26, N), 3)) + tuple(

@@ -1,8 +1,9 @@
 """Distribution sanity for the random polynomial samplers."""
 
+from itertools import islice
+
 import numpy as np
 import pytest
-from itertools import islice
 
 from repro.errors import ParameterError
 from repro.nt.primes import ntt_friendly_primes_below

@@ -122,7 +122,8 @@ class TestBootstrapSchedules:
 
     def test_emit_walks_down(self):
         b = TraceBuilder("boot", n=65536, base_bits=60.0,
-                         level_scale_bits=(45.0,) * 10 + BS19_SCHEDULE.level_scale_bits[::-1])
+                         level_scale_bits=(45.0,) * 10
+                         + BS19_SCHEDULE.level_scale_bits[::-1])
         exit_level = BS19_SCHEDULE.emit(b, top_level=24)
         assert exit_level == 24 - BS19_SCHEDULE.depth
         trace_ops = b.build().ops
