@@ -23,7 +23,7 @@ Two second-order effects the paper leans on are modeled explicitly:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.accel import kernels
 from repro.accel.config import AcceleratorConfig
@@ -93,6 +93,14 @@ class SimResult:
     @property
     def level_mgmt_energy_fraction(self) -> float:
         return self.level_mgmt_energy_j / self.energy_j if self.energy_j else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for the experiment runner's disk cache."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        return cls(**data)
 
 
 class AcceleratorSim:

@@ -5,35 +5,40 @@ Usage (``python -m repro ...``)::
     python -m repro plan --scheme bitpacker --n 1024 --word 28 \\
         --scale 40 --levels 6
     python -m repro compare --word 28
-    python -m repro figure fig11 fig15
+    python -m repro figure fig11 fig15 --jobs 4
+    python -m repro figure fig14 --cache-dir /tmp/bp-cache --force
     python -m repro list-figures
-    python -m repro lint src/repro --traces
+    python -m repro lint --traces
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.schemes import plan_chain
 
-#: Figure/table name -> (module path, expected runtime note).
-FIGURES: dict[str, tuple[str, str]] = {
-    "fig10": ("repro.eval.fig10", "instant"),
-    "fig11": ("repro.eval.fig11", "seconds"),
-    "fig12": ("repro.eval.fig12", "seconds"),
-    "fig13": ("repro.eval.fig13", "seconds"),
-    "fig14": ("repro.eval.fig14", "a few minutes"),
-    "fig15": ("repro.eval.fig15", "a few minutes"),
-    "fig16": ("repro.eval.fig16", "a few minutes"),
-    "fig17": ("repro.eval.fig17", "a minute"),
-    "fig18": ("repro.eval.fig18", "minutes (real encrypted arithmetic)"),
-    "fig19": ("repro.eval.fig19", "minutes (real encrypted arithmetic)"),
-    "table1": ("repro.eval.table1", "minutes (real encrypted arithmetic)"),
-    "sec61": ("repro.eval.security", "seconds"),
-    "sec62": ("repro.eval.sharp", "seconds"),
-    "sec63": ("repro.eval.area_reduction", "seconds"),
+#: Figure/table name -> (module path, results/ file stem, runtime note).
+FIGURES: dict[str, tuple[str, str, str]] = {
+    "fig10": ("repro.eval.fig10", "fig10_energy_breakdown", "instant"),
+    "fig11": ("repro.eval.fig11", "fig11_exec_time_28bit", "seconds"),
+    "fig12": ("repro.eval.fig12", "fig12_energy_28bit", "seconds"),
+    "fig13": ("repro.eval.fig13", "fig13_cpu", "seconds"),
+    "fig14": ("repro.eval.fig14", "fig14_word_size_sweep", "a few minutes"),
+    "fig15": ("repro.eval.fig15", "fig15_slowdown", "a few minutes"),
+    "fig16": ("repro.eval.fig16", "fig16_perf_per_area", "a few minutes"),
+    "fig17": ("repro.eval.fig17", "fig17_scratchpad_sweep", "a minute"),
+    "fig18": ("repro.eval.fig18", "fig18_rescale_precision",
+              "minutes (real encrypted arithmetic)"),
+    "fig19": ("repro.eval.fig19", "fig19_adjust_precision",
+              "minutes (real encrypted arithmetic)"),
+    "table1": ("repro.eval.table1", "table1_mantissa_bits",
+               "minutes (real encrypted arithmetic)"),
+    "sec61": ("repro.eval.security", "sec61_security_params", "seconds"),
+    "sec62": ("repro.eval.sharp", "sec62_sharp_comparison", "seconds"),
+    "sec63": ("repro.eval.area_reduction", "sec63_area_reduction", "seconds"),
 }
 
 
@@ -64,6 +69,27 @@ def _build_parser() -> argparse.ArgumentParser:
 
     figure = sub.add_parser("figure", help="regenerate paper figures/tables")
     figure.add_argument("names", nargs="+", choices=sorted(FIGURES))
+    figure.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per harness grid (default: 1, serial)",
+    )
+    figure.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="result cache location (default: ~/.cache/bitpacker-repro "
+             "or $BITPACKER_CACHE_DIR)",
+    )
+    figure.add_argument(
+        "--force", action="store_true",
+        help="recompute every point, overwriting cached records",
+    )
+    figure.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache entirely",
+    )
+    figure.add_argument(
+        "--results-dir", default="results", metavar="DIR",
+        help="where to write <figure>.txt outputs (default: results/)",
+    )
 
     sub.add_parser("list-figures", help="list available experiments")
 
@@ -71,8 +97,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "lint", help="run the fhelint static passes (and trace checks)"
     )
     lint.add_argument(
-        "paths", nargs="*", default=["src/repro"],
-        help="files or directories to lint (default: src/repro)",
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: the installed "
+             "repro package)",
     )
     lint.add_argument(
         "--rules", nargs="+", default=None, metavar="RULE",
@@ -125,17 +152,58 @@ def _cmd_compare(args) -> int:
 
 def _cmd_figure(args) -> int:
     import importlib
+    import inspect
+    import time
+    import traceback
 
+    from repro.errors import ParameterError
+    from repro.eval import runner
+
+    if args.jobs < 1:
+        raise ParameterError(f"--jobs must be >= 1, got {args.jobs}")
+    runner.configure(
+        cache_dir=args.cache_dir,
+        enabled=False if args.no_cache else None,
+        force=args.force,
+    )
+    results_dir = Path(args.results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    failed = []
     for name in args.names:
-        module_path, _note = FIGURES[name]
-        module = importlib.import_module(module_path)
-        print(module.render(module.run()))
+        module_path, stem, note = FIGURES[name]
+        print(f"[{name}] running ({note})", file=sys.stderr)
+        started = time.monotonic()
+        try:
+            module = importlib.import_module(module_path)
+            kwargs = {}
+            if "jobs" in inspect.signature(module.run).parameters:
+                kwargs["jobs"] = args.jobs
+            text = module.render(module.run(**kwargs))
+        except Exception as exc:
+            traceback.print_exc(file=sys.stderr)
+            print(f"[{name}] FAILED: {exc}", file=sys.stderr)
+            failed.append(name)
+            continue
+        out_path = results_dir / f"{stem}.txt"
+        out_path.write_text(text + "\n")
+        elapsed = time.monotonic() - started
+        print(f"[{name}] done in {elapsed:.1f}s -> {out_path}", file=sys.stderr)
+        print(text)
         print()
+    cache = runner.active_cache()
+    print(
+        f"[cache] {cache.hit_count()} hits, {cache.miss_count()} misses "
+        f"({cache.cache_dir if cache.enabled else 'disabled'})",
+        file=sys.stderr,
+    )
+    if failed:
+        print(f"[figure] failed: {', '.join(failed)}", file=sys.stderr)
+        return 1
     return 0
 
 
 def _cmd_list_figures(_args) -> int:
-    for name, (module_path, note) in sorted(FIGURES.items()):
+    for name, (module_path, _stem, note) in sorted(FIGURES.items()):
         print(f"{name:8s} {module_path:28s} ({note})")
     return 0
 
@@ -153,7 +221,13 @@ def _cmd_lint(args) -> int:
         for lint_pass in all_passes():
             print(f"{lint_pass.rule:20s} {lint_pass.description}")
         return 0
-    findings = run_lint(args.paths, rules=args.rules)
+    if args.paths:
+        paths = args.paths
+    else:
+        import repro
+
+        paths = [str(Path(repro.__file__).resolve().parent)]
+    findings = run_lint(paths, rules=args.rules)
     if args.traces:
         findings = findings + check_traces(workload_traces())
     print(render_report(findings))

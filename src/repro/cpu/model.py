@@ -19,7 +19,7 @@ implementation with AVX2 vectorization.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.accel import kernels
 from repro.errors import SimulationError
@@ -49,6 +49,14 @@ class CpuResult:
     @property
     def level_mgmt_fraction(self) -> float:
         return self.level_mgmt_cycles / self.cycles if self.cycles else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for the experiment runner's disk cache."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CpuResult":
+        return cls(**data)
 
 
 @dataclass(frozen=True)

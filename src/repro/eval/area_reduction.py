@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.accel.area import DEFAULT_AREA_MODEL
 from repro.accel.config import craterlake
+from repro.eval import runner
 from repro.eval.common import WORKLOAD_GRID, gmean, simulate
 
 PAPER_RF_MB = 200.0
@@ -42,18 +43,26 @@ class AreaReductionResult:
     no_loss_point: ReducedDesign
 
 
-def _evaluate(label: str, rf_mb: float, base_area: float) -> ReducedDesign:
+def _evaluate(
+    label: str, rf_mb: float, base_area: float, jobs: int = 1
+) -> ReducedDesign:
     cfg = craterlake().with_register_file(rf_mb).with_crb_shrink(CRB_SHRINK)
     area = DEFAULT_AREA_MODEL.total_area(cfg)
+    variants = (
+        dict(scheme="bitpacker"),
+        dict(scheme="bitpacker", register_file_mb=rf_mb, crb_shrink=CRB_SHRINK),
+        dict(scheme="rns-ckks"),
+    )
+    calls = [
+        dict(app=app, bs=bs, word_bits=28, **variant)
+        for app, bs in WORKLOAD_GRID
+        for variant in variants
+    ]
+    results = runner.map_grid(simulate, calls, jobs=jobs)
     perf_ratios = []
     edaps = []
-    for app, bs in WORKLOAD_GRID:
-        bp_base = simulate(app, bs, "bitpacker", 28)
-        bp_small = simulate(
-            app, bs, "bitpacker", 28, register_file_mb=rf_mb,
-            crb_shrink=CRB_SHRINK,
-        )
-        rns_base = simulate(app, bs, "rns-ckks", 28)
+    for index in range(len(WORKLOAD_GRID)):
+        bp_base, bp_small, rns_base = results[3 * index:3 * index + 3]
         perf_ratios.append(bp_small.time_s / bp_base.time_s)
         edaps.append((rns_base.edp * base_area) / (bp_small.edp * area))
     return ReducedDesign(
@@ -65,13 +74,15 @@ def _evaluate(label: str, rf_mb: float, base_area: float) -> ReducedDesign:
     )
 
 
-def run() -> AreaReductionResult:
+def run(jobs: int = 1) -> AreaReductionResult:
     base_area = DEFAULT_AREA_MODEL.total_area(craterlake())
     return AreaReductionResult(
         baseline_area_mm2=base_area,
-        paper_point=_evaluate("paper (RF 200 MB)", PAPER_RF_MB, base_area),
+        paper_point=_evaluate(
+            "paper (RF 200 MB)", PAPER_RF_MB, base_area, jobs=jobs
+        ),
         no_loss_point=_evaluate(
-            "model no-loss (RF 225 MB)", NO_LOSS_RF_MB, base_area
+            "model no-loss (RF 225 MB)", NO_LOSS_RF_MB, base_area, jobs=jobs
         ),
     )
 

@@ -1,9 +1,13 @@
 """Shared plumbing for the evaluation harnesses.
 
 Caches the expensive artifacts (traces, planned chains, simulation
-results) keyed by their full parameterization, so the per-figure
-harnesses stay declarative and re-running one cheap figure after an
-expensive one is instant.
+results) at two layers: an in-process ``lru_cache`` keyed by the full
+parameterization, backed by the experiment runner's content-addressed
+disk store (:mod:`repro.eval.runner`), so re-running one cheap figure
+after an expensive one is instant *across* CLI invocations too.  A
+cached record is keyed by its parameters plus a fingerprint of the
+model's calibration constants, so editing a constant recomputes instead
+of serving stale rows.
 """
 
 from __future__ import annotations
@@ -17,7 +21,13 @@ from repro.accel.config import craterlake
 from repro.accel.sim import AcceleratorSim, SimResult
 from repro.cpu.model import DEFAULT_CPU_MODEL, CpuResult
 from repro.errors import ParameterError
-from repro.schemes import plan_bitpacker_chain, plan_rns_ckks_chain
+from repro.eval import runner
+from repro.schemes import (
+    chain_from_dict,
+    chain_to_dict,
+    plan_bitpacker_chain,
+    plan_rns_ckks_chain,
+)
 from repro.schemes.chain import ModulusChain
 from repro.trace.program import HeTrace
 from repro.workloads.apps import BENCHMARKS
@@ -37,6 +47,11 @@ def gmean(values: Iterable[float]) -> float:
     vals = [float(v) for v in values]
     if not vals:
         raise ParameterError("gmean of empty sequence")
+    for v in vals:
+        if math.isnan(v) or v <= 0.0:
+            raise ParameterError(
+                f"gmean requires strictly positive values, got {v!r}"
+            )
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
@@ -51,9 +66,18 @@ def trace_for(
     ks_digits: int = 3,
 ) -> HeTrace:
     """The app's trace under a scheme's bootstrap cadence (Sec. 5)."""
-    return BENCHMARKS[app](
-        SCHEDULES[bs], n=n, max_log_q=max_log_q, scheme=scheme,
-        word_bits=word_bits, ks_digits=ks_digits,
+    params = {
+        "app": app, "bs": bs, "scheme": scheme, "word_bits": word_bits,
+        "n": n, "max_log_q": max_log_q, "ks_digits": ks_digits,
+    }
+    return runner.cached(
+        "trace", params,
+        compute=lambda: BENCHMARKS[app](
+            SCHEDULES[bs], n=n, max_log_q=max_log_q, scheme=scheme,
+            word_bits=word_bits, ks_digits=ks_digits,
+        ),
+        encode=HeTrace.to_dict,
+        decode=HeTrace.from_dict,
     )
 
 
@@ -66,6 +90,24 @@ def chain_for(
     ks_digits: int = 3,
     n: int = EVAL_N,
     max_log_q: float = EVAL_MAX_LOG_Q,
+) -> ModulusChain:
+    params = {
+        "app": app, "bs": bs, "scheme": scheme, "word_bits": word_bits,
+        "n": n, "max_log_q": max_log_q, "ks_digits": ks_digits,
+    }
+    return runner.cached(
+        "chain", params,
+        compute=lambda: _plan_chain(
+            app, bs, scheme, word_bits, ks_digits, n, max_log_q
+        ),
+        encode=chain_to_dict,
+        decode=chain_from_dict,
+    )
+
+
+def _plan_chain(
+    app: str, bs: str, scheme: str, word_bits: int, ks_digits: int,
+    n: int, max_log_q: float,
 ) -> ModulusChain:
     trace = trace_for(app, bs, scheme, word_bits, n, max_log_q, ks_digits)
     if scheme == "bitpacker":
@@ -102,6 +144,26 @@ def simulate(
     max_log_q: float = EVAL_MAX_LOG_Q,
 ) -> SimResult:
     """Run one (workload, scheme, machine) point on the accelerator model."""
+    params = {
+        "app": app, "bs": bs, "scheme": scheme, "word_bits": word_bits,
+        "register_file_mb": register_file_mb, "crb_shrink": crb_shrink,
+        "ks_digits": ks_digits, "n": n, "max_log_q": max_log_q,
+    }
+    return runner.cached(
+        "simulate", params,
+        compute=lambda: _simulate(
+            app, bs, scheme, word_bits, register_file_mb, crb_shrink,
+            ks_digits, n, max_log_q,
+        ),
+        encode=SimResult.to_dict,
+        decode=SimResult.from_dict,
+    )
+
+
+def _simulate(
+    app: str, bs: str, scheme: str, word_bits: int, register_file_mb: float,
+    crb_shrink: float, ks_digits: int, n: int, max_log_q: float,
+) -> SimResult:
     config = craterlake().with_word_size(word_bits)
     if register_file_mb != 256.0:
         config = config.with_register_file(register_file_mb)
@@ -122,9 +184,31 @@ def simulate_cpu(
     ks_digits: int = 3,
 ) -> CpuResult:
     """Run one workload point on the CPU cost model (Fig. 13)."""
-    trace = trace_for(app, bs, scheme, word_bits, ks_digits=ks_digits)
-    chain = chain_for(app, bs, scheme, word_bits, ks_digits)
-    return DEFAULT_CPU_MODEL.run(trace, chain)
+    params = {
+        "app": app, "bs": bs, "scheme": scheme, "word_bits": word_bits,
+        "ks_digits": ks_digits,
+    }
+    return runner.cached(
+        "simulate-cpu", params,
+        compute=lambda: DEFAULT_CPU_MODEL.run(
+            trace_for(app, bs, scheme, word_bits, ks_digits=ks_digits),
+            chain_for(app, bs, scheme, word_bits, ks_digits),
+        ),
+        encode=CpuResult.to_dict,
+        decode=CpuResult.from_dict,
+    )
+
+
+def clear_memory_caches() -> None:
+    """Drop the in-process layer only; disk records stay valid.
+
+    Used by tests to model a fresh CLI invocation: the next call of each
+    artifact function must go through the runner's disk store again.
+    """
+    trace_for.cache_clear()
+    chain_for.cache_clear()
+    simulate.cache_clear()
+    simulate_cpu.cache_clear()
 
 
 @dataclass(frozen=True)
@@ -151,6 +235,12 @@ def format_table(
 ) -> str:
     """Fixed-width text table for harness output."""
     cells = [[str(c) for c in row] for row in rows]
+    for index, row in enumerate(cells):
+        if len(row) != len(header):
+            raise ParameterError(
+                f"format_table row {index} has {len(row)} cells, header "
+                f"has {len(header)}"
+            )
     widths = [
         max(len(header[i]), *(len(r[i]) for r in cells)) if cells else len(header[i])
         for i in range(len(header))

@@ -7,7 +7,9 @@ with larger gains for the small-scale workloads (SqueezeNet, LogReg).
 
 from __future__ import annotations
 
+from repro.eval import runner
 from repro.eval.common import (
+    SCHEMES,
     WORKLOAD_GRID,
     ComparisonRow,
     format_table,
@@ -16,14 +18,18 @@ from repro.eval.common import (
 )
 
 
-def run(word_bits: int = 28, ks_digits: int = 3, max_log_q: float = 1596.0
-        ) -> list[ComparisonRow]:
+def run(word_bits: int = 28, ks_digits: int = 3, max_log_q: float = 1596.0,
+        jobs: int = 1) -> list[ComparisonRow]:
+    calls = [
+        dict(app=app, bs=bs, scheme=scheme, word_bits=word_bits,
+             ks_digits=ks_digits, max_log_q=max_log_q)
+        for app, bs in WORKLOAD_GRID
+        for scheme in SCHEMES
+    ]
+    results = runner.map_grid(simulate, calls, jobs=jobs)
     rows = []
-    for app, bs in WORKLOAD_GRID:
-        bp = simulate(app, bs, "bitpacker", word_bits, ks_digits=ks_digits,
-                      max_log_q=max_log_q)
-        rns = simulate(app, bs, "rns-ckks", word_bits, ks_digits=ks_digits,
-                       max_log_q=max_log_q)
+    for index, (app, bs) in enumerate(WORKLOAD_GRID):
+        bp, rns = results[2 * index], results[2 * index + 1]
         rows.append(
             ComparisonRow(app=app, bs=bs, bitpacker=bp.time_s, rns_ckks=rns.time_s)
         )

@@ -11,7 +11,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.eval.common import WORKLOAD_GRID, format_table, gmean, simulate
+from repro.eval import runner
+from repro.eval.common import (
+    SCHEMES,
+    WORKLOAD_GRID,
+    format_table,
+    gmean,
+    simulate,
+)
 
 
 @dataclass(frozen=True)
@@ -38,14 +45,18 @@ class Fig12Row:
         return self.rns_edp / self.bp_edp
 
 
-def run(word_bits: int = 28, ks_digits: int = 3, max_log_q: float = 1596.0
-        ) -> list[Fig12Row]:
+def run(word_bits: int = 28, ks_digits: int = 3, max_log_q: float = 1596.0,
+        jobs: int = 1) -> list[Fig12Row]:
+    calls = [
+        dict(app=app, bs=bs, scheme=scheme, word_bits=word_bits,
+             ks_digits=ks_digits, max_log_q=max_log_q)
+        for app, bs in WORKLOAD_GRID
+        for scheme in SCHEMES
+    ]
+    results = runner.map_grid(simulate, calls, jobs=jobs)
     rows = []
-    for app, bs in WORKLOAD_GRID:
-        bp = simulate(app, bs, "bitpacker", word_bits, ks_digits=ks_digits,
-                      max_log_q=max_log_q)
-        rns = simulate(app, bs, "rns-ckks", word_bits, ks_digits=ks_digits,
-                       max_log_q=max_log_q)
+    for index, (app, bs) in enumerate(WORKLOAD_GRID):
+        bp, rns = results[2 * index], results[2 * index + 1]
         rows.append(
             Fig12Row(
                 app=app,

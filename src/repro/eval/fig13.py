@@ -8,7 +8,9 @@ paper, far below the accelerator's 59%.
 
 from __future__ import annotations
 
+from repro.eval import runner
 from repro.eval.common import (
+    SCHEMES,
     WORKLOAD_GRID,
     ComparisonRow,
     format_table,
@@ -17,11 +19,18 @@ from repro.eval.common import (
 )
 
 
-def run(word_bits: int = 64, ks_digits: int = 3) -> list[ComparisonRow]:
+def run(word_bits: int = 64, ks_digits: int = 3, jobs: int = 1
+        ) -> list[ComparisonRow]:
+    calls = [
+        dict(app=app, bs=bs, scheme=scheme, word_bits=word_bits,
+             ks_digits=ks_digits)
+        for app, bs in WORKLOAD_GRID
+        for scheme in SCHEMES
+    ]
+    results = runner.map_grid(simulate_cpu, calls, jobs=jobs)
     rows = []
-    for app, bs in WORKLOAD_GRID:
-        bp = simulate_cpu(app, bs, "bitpacker", word_bits, ks_digits)
-        rns = simulate_cpu(app, bs, "rns-ckks", word_bits, ks_digits)
+    for index, (app, bs) in enumerate(WORKLOAD_GRID):
+        bp, rns = results[2 * index], results[2 * index + 1]
         rows.append(
             ComparisonRow(app=app, bs=bs, bitpacker=bp.time_s, rns_ckks=rns.time_s)
         )

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.eval.common import WORKLOAD_GRID, format_table, simulate
+from repro.eval import runner
+from repro.eval.common import SCHEMES, WORKLOAD_GRID, format_table, simulate
 
 #: The sweep's word sizes (paper: 28 to 64 bits).
 DEFAULT_WORD_SIZES = tuple(range(28, 65, 4))
@@ -40,21 +41,25 @@ class Fig14Series:
 
 
 def run(
-    word_sizes=DEFAULT_WORD_SIZES, ks_digits: int = 3, max_log_q: float = 1596.0
+    word_sizes=DEFAULT_WORD_SIZES, ks_digits: int = 3,
+    max_log_q: float = 1596.0, jobs: int = 1,
 ) -> list[Fig14Series]:
+    word_sizes = tuple(word_sizes)
+    calls = [
+        dict(app=app, bs=bs, scheme=scheme, word_bits=w,
+             ks_digits=ks_digits, max_log_q=max_log_q)
+        for app, bs in WORKLOAD_GRID
+        for w in word_sizes
+        for scheme in SCHEMES
+    ]
+    results = iter(runner.map_grid(simulate, calls, jobs=jobs))
     series = []
     for app, bs in WORKLOAD_GRID:
         bp = []
         rns = []
-        for w in word_sizes:
-            bp.append(
-                simulate(app, bs, "bitpacker", w, ks_digits=ks_digits,
-                         max_log_q=max_log_q).time_ms
-            )
-            rns.append(
-                simulate(app, bs, "rns-ckks", w, ks_digits=ks_digits,
-                         max_log_q=max_log_q).time_ms
-            )
+        for _w in word_sizes:
+            bp.append(next(results).time_ms)
+            rns.append(next(results).time_ms)
         series.append(
             Fig14Series(
                 app=app,

@@ -21,8 +21,11 @@ class Fig15Row:
     min_slowdown: float
 
 
-def run(word_sizes=fig14.DEFAULT_WORD_SIZES) -> list[Fig15Row]:
-    series = fig14.run(word_sizes)
+def run(word_sizes=fig14.DEFAULT_WORD_SIZES, jobs: int = 1) -> list[Fig15Row]:
+    # Derived view: consumes fig14's (runner-cached) sweep, so after a
+    # fig14 run this figure performs no simulations of its own.
+    series = fig14.run(word_sizes, jobs=jobs)
+    word_sizes = tuple(word_sizes)
     rows = []
     for idx, w in enumerate(word_sizes):
         ratios = [s.rns_ckks_ms[idx] / s.bitpacker_ms[idx] for s in series]

@@ -10,9 +10,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.eval.common import WORKLOAD_GRID, format_table, gmean, simulate
+from repro.eval import runner
+from repro.eval.common import (
+    SCHEMES,
+    WORKLOAD_GRID,
+    format_table,
+    gmean,
+    simulate,
+)
 
 DEFAULT_SIZES_MB = (150.0, 175.0, 200.0, 225.0, 256.0, 300.0, 350.0)
+
+BASELINE_MB = 256.0
 
 
 @dataclass(frozen=True)
@@ -22,14 +31,32 @@ class Fig17Row:
     rns_ckks_norm: float
 
 
-def run(sizes_mb=DEFAULT_SIZES_MB, word_bits: int = 28) -> list[Fig17Row]:
-    def gmean_time(scheme: str, mb: float) -> float:
-        return gmean(
-            simulate(app, bs, scheme, word_bits, register_file_mb=mb).time_s
-            for app, bs in WORKLOAD_GRID
-        )
+def run(sizes_mb=DEFAULT_SIZES_MB, word_bits: int = 28,
+        jobs: int = 1) -> list[Fig17Row]:
+    sizes_mb = tuple(sizes_mb)
+    # The baseline (BitPacker at 256 MB) joins the fan-out whether or not
+    # the requested sweep contains it.
+    grid_mbs = sizes_mb if BASELINE_MB in sizes_mb else sizes_mb + (BASELINE_MB,)
+    points = [
+        (mb, scheme, app, bs)
+        for mb in grid_mbs
+        for scheme in SCHEMES
+        for app, bs in WORKLOAD_GRID
+    ]
+    calls = [
+        dict(app=app, bs=bs, scheme=scheme, word_bits=word_bits,
+             register_file_mb=mb)
+        for mb, scheme, app, bs in points
+    ]
+    results = runner.map_grid(simulate, calls, jobs=jobs)
+    times: dict[tuple[float, str], list[float]] = {}
+    for (mb, scheme, _app, _bs), result in zip(points, results):
+        times.setdefault((mb, scheme), []).append(result.time_s)
 
-    baseline = gmean_time("bitpacker", 256.0)
+    def gmean_time(scheme: str, mb: float) -> float:
+        return gmean(times[(mb, scheme)])
+
+    baseline = gmean_time("bitpacker", BASELINE_MB)
     return [
         Fig17Row(
             register_file_mb=mb,

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.eval.common import format_table
+from repro.eval import runner
+from repro.eval.common import SCHEMES, format_table
 from repro.eval.precision import box_stats, rescale_error_samples
 
 DEFAULT_SCALES = (30.0, 40.0, 50.0, 60.0)
@@ -25,19 +26,22 @@ class PrecisionRow:
 
 
 def run(
-    scales=DEFAULT_SCALES, samples: int = 30, n: int = 2048, seed: int = 7
+    scales=DEFAULT_SCALES, samples: int = 30, n: int = 2048, seed: int = 7,
+    jobs: int = 1,
 ) -> list[PrecisionRow]:
-    rows = []
-    for scale in scales:
-        for scheme in ("bitpacker", "rns-ckks"):
-            data = rescale_error_samples(scheme, scale, samples, n=n, seed=seed)
-            rows.append(
-                PrecisionRow(
-                    scale_bits=scale, scheme=scheme, stats=box_stats(data),
-                    samples=samples,
-                )
-            )
-    return rows
+    points = [(scale, scheme) for scale in scales for scheme in SCHEMES]
+    calls = [
+        dict(scheme=scheme, scale_bits=scale, samples=samples, n=n, seed=seed)
+        for scale, scheme in points
+    ]
+    data = runner.map_grid(rescale_error_samples, calls, jobs=jobs)
+    return [
+        PrecisionRow(
+            scale_bits=scale, scheme=scheme, stats=box_stats(samples_list),
+            samples=samples,
+        )
+        for (scale, scheme), samples_list in zip(points, data)
+    ]
 
 
 def render(rows: list[PrecisionRow], figure: str = "18",

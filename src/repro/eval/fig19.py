@@ -6,25 +6,30 @@ et al. reduced-error variant for RNS-CKKS, ``bpAdjust`` for BitPacker).
 
 from __future__ import annotations
 
+from repro.eval import runner
+from repro.eval.common import SCHEMES
 from repro.eval.fig18 import DEFAULT_SCALES, PrecisionRow
 from repro.eval.fig18 import render as _render
 from repro.eval.precision import adjust_error_samples, box_stats
 
 
 def run(
-    scales=DEFAULT_SCALES, samples: int = 30, n: int = 2048, seed: int = 11
+    scales=DEFAULT_SCALES, samples: int = 30, n: int = 2048, seed: int = 11,
+    jobs: int = 1,
 ) -> list[PrecisionRow]:
-    rows = []
-    for scale in scales:
-        for scheme in ("bitpacker", "rns-ckks"):
-            data = adjust_error_samples(scheme, scale, samples, n=n, seed=seed)
-            rows.append(
-                PrecisionRow(
-                    scale_bits=scale, scheme=scheme, stats=box_stats(data),
-                    samples=samples,
-                )
-            )
-    return rows
+    points = [(scale, scheme) for scale in scales for scheme in SCHEMES]
+    calls = [
+        dict(scheme=scheme, scale_bits=scale, samples=samples, n=n, seed=seed)
+        for scale, scheme in points
+    ]
+    data = runner.map_grid(adjust_error_samples, calls, jobs=jobs)
+    return [
+        PrecisionRow(
+            scale_bits=scale, scheme=scheme, stats=box_stats(samples_list),
+            samples=samples,
+        )
+        for (scale, scheme), samples_list in zip(points, data)
+    ]
 
 
 def render(rows: list[PrecisionRow]) -> str:

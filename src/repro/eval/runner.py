@@ -1,0 +1,296 @@
+"""Parallel, disk-cached experiment runner for the evaluation harnesses.
+
+The per-figure harnesses (Figs. 10-19, Table 1, Secs. 6.1-6.3) evaluate
+grids of ``(app, bs, scheme, word, machine)`` points.  Two properties of
+those grids motivate this module:
+
+- **Points recur across figures and invocations.**  Fig. 15 and Fig. 16
+  are derived views of Fig. 14's sweep; Sec. 6.2 re-evaluates two of its
+  columns; separate CLI invocations share everything.  A
+  content-addressed on-disk cache (:class:`RunnerCache`) makes every
+  artifact compute-once: records are keyed by a stable hash of the full
+  parameterization plus a fingerprint of the model's calibration
+  constants, so editing a constant invalidates stale entries instead of
+  silently serving them.
+- **Points are independent.**  :func:`map_grid` fans a grid out over a
+  ``ProcessPoolExecutor`` while keeping results keyed by grid position,
+  so parallel runs render byte-identically to serial ones.
+
+The cache layers *under* the in-process ``lru_cache`` in
+:mod:`repro.eval.common`: a process first consults its memory cache,
+then the disk store, and only then recomputes (and persists) the
+artifact.  Hit/miss counters per artifact kind make cache behaviour
+testable — a warm re-run of a figure must show zero ``simulate`` misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import ParameterError
+
+#: Bump to invalidate every existing cache record (layout changes).
+CACHE_SCHEMA_VERSION = 1
+
+ENV_CACHE_DIR = "BITPACKER_CACHE_DIR"
+ENV_CACHE_ENABLED = "BITPACKER_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """``$BITPACKER_CACHE_DIR`` or ``~/.cache/bitpacker-repro``."""
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "bitpacker-repro"
+
+
+def model_fingerprint() -> str:
+    """Digest of every calibration constant the cached artifacts depend on.
+
+    Reads the *live* module attributes each call, so a monkeypatched or
+    edited constant changes the fingerprint immediately and previously
+    cached records stop matching.  The cost (a small JSON dump + sha256)
+    is noise next to the simulations it guards.
+    """
+    from repro.accel import sim as accel_sim
+    from repro.accel.area import DEFAULT_AREA_MODEL
+    from repro.accel.config import craterlake
+    from repro.accel.energy import DEFAULT_ENERGY_MODEL
+    from repro.cpu.model import DEFAULT_CPU_MODEL
+
+    constants = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "sim": {
+            "streaming_fraction": accel_sim.STREAMING_FRACTION,
+            "miss_pressure_coeff": accel_sim.MISS_PRESSURE_COEFF,
+            "miss_pressure_knee": accel_sim.MISS_PRESSURE_KNEE,
+            "spill_turnover": accel_sim.SPILL_TURNOVER,
+            "pipeline_residency": accel_sim.PIPELINE_RESIDENCY,
+        },
+        "config": asdict(craterlake()),
+        "energy": asdict(DEFAULT_ENERGY_MODEL),
+        "area": asdict(DEFAULT_AREA_MODEL),
+        "cpu": asdict(DEFAULT_CPU_MODEL),
+    }
+    blob = json.dumps(constants, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class RunnerCache:
+    """Content-addressed JSON store for evaluation artifacts.
+
+    One record per file under ``cache_dir/<kind>/<digest>.json``, where
+    the digest hashes ``(kind, params, model_fingerprint())``.  Records
+    carry their parameterization alongside the payload so the store is
+    auditable with plain tools.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        enabled: bool = True,
+        force: bool = False,
+    ):
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.enabled = enabled
+        #: With ``force`` set, lookups miss (artifacts recompute) but the
+        #: recomputed values still overwrite their records.
+        self.force = force
+        self.hits: dict[str, int] = {}
+        self.misses: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+    def cache_key(self, kind: str, params: Mapping[str, Any]) -> str:
+        try:
+            blob = json.dumps(
+                {"kind": kind, "params": dict(params),
+                 "fingerprint": model_fingerprint()},
+                sort_keys=True, separators=(",", ":"),
+            )
+        except TypeError as exc:
+            raise ParameterError(
+                f"cache parameters for {kind!r} are not JSON-serializable: "
+                f"{params!r}"
+            ) from exc
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def record_path(self, kind: str, params: Mapping[str, Any]) -> Path:
+        return self.cache_dir / kind / f"{self.cache_key(kind, params)}.json"
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def _count(self, table: dict[str, int], kind: str) -> None:
+        table[kind] = table.get(kind, 0) + 1
+
+    def hit_count(self, kind: str | None = None) -> int:
+        if kind is not None:
+            return self.hits.get(kind, 0)
+        return sum(self.hits.values())
+
+    def miss_count(self, kind: str | None = None) -> int:
+        if kind is not None:
+            return self.misses.get(kind, 0)
+        return sum(self.misses.values())
+
+    def reset_counters(self) -> None:
+        self.hits.clear()
+        self.misses.clear()
+
+    # ------------------------------------------------------------------
+    # Load / store
+    # ------------------------------------------------------------------
+    def load(self, kind: str, params: Mapping[str, Any]) -> tuple[bool, Any]:
+        """``(found, payload)``; a miss is counted for every recompute."""
+        if not self.enabled or self.force:
+            self._count(self.misses, kind)
+            return False, None
+        path = self.record_path(kind, params)
+        try:
+            record = json.loads(path.read_text())
+            payload = record["payload"]
+        except FileNotFoundError:
+            self._count(self.misses, kind)
+            return False, None
+        except (OSError, ValueError, KeyError):
+            # A truncated or hand-edited record: drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self._count(self.misses, kind)
+            return False, None
+        self._count(self.hits, kind)
+        return True, payload
+
+    def store(self, kind: str, params: Mapping[str, Any], payload: Any) -> None:
+        if not self.enabled:
+            return
+        path = self.record_path(kind, params)
+        record = {
+            "kind": kind,
+            "params": dict(params),
+            "fingerprint": model_fingerprint(),
+            "payload": payload,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: a concurrent worker never sees a torn file.
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.stem, suffix=".tmp"
+            )
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            # An unwritable cache degrades to compute-always, not failure.
+            pass
+
+
+# ----------------------------------------------------------------------
+# Process-global configuration
+# ----------------------------------------------------------------------
+_ACTIVE: RunnerCache | None = None
+
+
+def configure(
+    cache_dir: str | Path | None = None,
+    enabled: bool | None = None,
+    force: bool = False,
+) -> RunnerCache:
+    """Install (and return) the process's cache configuration.
+
+    ``enabled`` defaults to on unless ``BITPACKER_CACHE=0`` is set.
+    """
+    global _ACTIVE
+    if enabled is None:
+        enabled = os.environ.get(ENV_CACHE_ENABLED, "1") != "0"
+    _ACTIVE = RunnerCache(cache_dir, enabled=enabled, force=force)
+    return _ACTIVE
+
+
+def active_cache() -> RunnerCache:
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = configure()
+    return _ACTIVE
+
+
+def cached(
+    kind: str,
+    params: Mapping[str, Any],
+    compute: Callable[[], Any],
+    encode: Callable[[Any], Any] | None = None,
+    decode: Callable[[Any], Any] | None = None,
+) -> Any:
+    """Serve ``compute()`` through the disk cache.
+
+    ``encode``/``decode`` bridge rich artifact types (traces, chains,
+    results) to JSON payloads; omit both for payloads that already are
+    plain JSON values.
+    """
+    cache = active_cache()
+    found, payload = cache.load(kind, params)
+    if found:
+        return decode(payload) if decode else payload
+    value = compute()
+    cache.store(kind, params, encode(value) if encode else value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# Parallel fan-out
+# ----------------------------------------------------------------------
+def _worker_init(cache_dir: str, enabled: bool, force: bool) -> None:
+    configure(cache_dir=cache_dir, enabled=enabled, force=force)
+
+
+def _invoke(func: Callable, kwargs: dict) -> Any:
+    return func(**kwargs)
+
+
+def map_grid(
+    func: Callable,
+    calls: Sequence[Mapping[str, Any]] | Iterable[Mapping[str, Any]],
+    jobs: int = 1,
+) -> list[Any]:
+    """Evaluate ``func(**kwargs)`` for every grid point, in grid order.
+
+    Results are keyed by position, never by completion order, so a
+    parallel run is indistinguishable from a serial one to the caller
+    (``results/*.txt`` stay byte-identical).  With ``jobs <= 1`` the grid
+    runs in-process, sharing the caller's memory caches; with more jobs a
+    ``ProcessPoolExecutor`` is used and each worker inherits the parent's
+    disk-cache configuration, so everything computed in a worker is
+    visible to later serial runs.
+    """
+    grid = [dict(kwargs) for kwargs in calls]
+    if jobs is None:
+        jobs = 1
+    if jobs < 1:
+        raise ParameterError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(grid) <= 1:
+        return [func(**kwargs) for kwargs in grid]
+    cache = active_cache()
+    results: list[Any] = [None] * len(grid)
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(grid)),
+        initializer=_worker_init,
+        initargs=(str(cache.cache_dir), cache.enabled, cache.force),
+    ) as pool:
+        futures = {
+            pool.submit(_invoke, func, kwargs): index
+            for index, kwargs in enumerate(grid)
+        }
+        for future in as_completed(futures):
+            results[futures[future]] = future.result()
+    return results

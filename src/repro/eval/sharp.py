@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.eval import runner
 from repro.eval.common import WORKLOAD_GRID, format_table, gmean, simulate
 
 
@@ -27,11 +28,16 @@ class SharpRow:
         return f"{self.app} ({self.bs})"
 
 
-def run() -> list[SharpRow]:
+def run(jobs: int = 1) -> list[SharpRow]:
+    calls = [
+        dict(app=app, bs=bs, scheme=scheme, word_bits=word_bits)
+        for app, bs in WORKLOAD_GRID
+        for scheme, word_bits in (("bitpacker", 28), ("rns-ckks", 36))
+    ]
+    results = runner.map_grid(simulate, calls, jobs=jobs)
     rows = []
-    for app, bs in WORKLOAD_GRID:
-        bp = simulate(app, bs, "bitpacker", 28)
-        sharp = simulate(app, bs, "rns-ckks", 36)
+    for index, (app, bs) in enumerate(WORKLOAD_GRID):
+        bp, sharp = results[2 * index], results[2 * index + 1]
         rows.append(
             SharpRow(
                 app=app,

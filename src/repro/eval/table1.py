@@ -25,7 +25,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ckks.bootstrap import BS19, BS26, BootstrapAlgorithm, FunctionalBootstrapper
-from repro.eval.common import format_table
+from repro.errors import ParameterError
+from repro.eval import runner
+from repro.eval.common import SCHEMES, format_table
 from repro.eval.precision import precision_context
 
 
@@ -78,6 +80,31 @@ def _unstable_round(ctx, ct, ref):
     return ct, ref
 
 
+def analogue_point(
+    benchmark: str, scheme: str, samples: int, n: int, seed: int
+) -> tuple[float, float]:
+    """One disk-cached (analogue, scheme) cell of Table 1.
+
+    Module-level (and addressed by benchmark name, not spec object) so
+    :func:`repro.eval.runner.map_grid` can ship it to worker processes.
+    """
+    spec = next((s for s in ANALOGUES if s.name == benchmark), None)
+    if spec is None:
+        raise ParameterError(f"unknown Table 1 analogue {benchmark!r}")
+    params = {
+        "benchmark": spec.name, "scheme": scheme, "samples": samples,
+        "n": n, "seed": seed, "scale_bits": spec.scale_bits,
+        "bootstrap": spec.bootstrap.name, "pre_rounds": spec.pre_rounds,
+        "post_rounds": spec.post_rounds, "unstable": spec.unstable,
+    }
+    mean, worst = runner.cached(
+        "table1", params,
+        compute=lambda: _run_analogue(spec, scheme, samples, n, seed),
+        encode=list,
+    )
+    return mean, worst
+
+
 def _run_analogue(
     spec: AnalogueSpec, scheme: str, samples: int, n: int, seed: int
 ) -> tuple[float, float]:
@@ -115,11 +142,20 @@ class Table1Row:
     rns_worst: float
 
 
-def run(samples: int = 3, n: int = 1024, seed: int = 5) -> list[Table1Row]:
+def run(samples: int = 3, n: int = 1024, seed: int = 5,
+        jobs: int = 1) -> list[Table1Row]:
+    calls = [
+        dict(benchmark=spec.name, scheme=scheme, samples=samples, n=n,
+             seed=seed)
+        for spec in ANALOGUES
+        for scheme in SCHEMES
+    ]
+    results = runner.map_grid(analogue_point, calls, jobs=jobs)
     rows = []
-    for spec in ANALOGUES:
-        bp_mean, bp_worst = _run_analogue(spec, "bitpacker", samples, n, seed)
-        rns_mean, rns_worst = _run_analogue(spec, "rns-ckks", samples, n, seed)
+    for index, spec in enumerate(ANALOGUES):
+        (bp_mean, bp_worst), (rns_mean, rns_worst) = (
+            results[2 * index], results[2 * index + 1]
+        )
         rows.append(
             Table1Row(
                 benchmark=spec.name,

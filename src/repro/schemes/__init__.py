@@ -13,13 +13,20 @@ from repro.schemes.bitpacker import (
     greedy_terminal_primes,
     plan_bitpacker_chain,
 )
-from repro.schemes.chain import LevelSpec, ModulusChain
+from repro.schemes.chain import (
+    LevelSpec,
+    ModulusChain,
+    chain_from_dict,
+    chain_to_dict,
+)
 from repro.schemes.rns_ckks import RnsCkksChain, plan_rns_ckks_chain
 from repro.schemes.security import check_security, max_log_qp, required_degree
 
 __all__ = [
     "LevelSpec",
     "ModulusChain",
+    "chain_from_dict",
+    "chain_to_dict",
     "RnsCkksChain",
     "plan_rns_ckks_chain",
     "BitPackerChain",

@@ -169,6 +169,67 @@ class ModulusChain(ABC):
         )
 
 
+def chain_to_dict(chain: ModulusChain) -> dict:
+    """JSON-ready form of a planned chain (either scheme).
+
+    Scales are exact ``Fraction`` values whose numerator/denominator can
+    run to hundreds of bits, so they serialize as decimal strings rather
+    than floats.  RNS-CKKS chains additionally carry their per-level
+    shed groups.
+    """
+    data = {
+        "scheme": chain.scheme,
+        "n": chain.n,
+        "word_bits": chain.word_bits,
+        "ks_digits": chain.ks_digits,
+        "special_moduli": list(chain.special_moduli),
+        "levels": [
+            {
+                "moduli": list(spec.moduli),
+                "scale": [str(spec.scale.numerator), str(spec.scale.denominator)],
+            }
+            for spec in chain.levels
+        ],
+    }
+    groups = getattr(chain, "groups", None)
+    if groups is not None:
+        data["groups"] = [list(group) for group in groups]
+    return data
+
+
+def chain_from_dict(data: dict) -> ModulusChain:
+    """Reconstruct a planned chain from :func:`chain_to_dict` output."""
+    from repro.schemes.bitpacker import BitPackerChain
+    from repro.schemes.rns_ckks import RnsCkksChain
+
+    levels = [
+        LevelSpec(
+            moduli=tuple(spec["moduli"]),
+            scale=Fraction(int(spec["scale"][0]), int(spec["scale"][1])),
+        )
+        for spec in data["levels"]
+    ]
+    scheme = data["scheme"]
+    if scheme == "bitpacker":
+        return BitPackerChain(
+            n=data["n"],
+            word_bits=data["word_bits"],
+            levels=levels,
+            special_moduli=tuple(data["special_moduli"]),
+            ks_digits=data["ks_digits"],
+        )
+    if scheme == "rns-ckks":
+        return RnsCkksChain(
+            n=data["n"],
+            word_bits=data["word_bits"],
+            levels=levels,
+            groups=tuple(tuple(g) for g in data["groups"]),
+            special_moduli=tuple(data["special_moduli"]),
+            ks_digits=data["ks_digits"],
+        )
+    raise ParameterError(f"unknown chain scheme {scheme!r}")
+
+
 def replace_ciphertext(
     ct: Ciphertext, c0, c1, level: int, scale: Fraction
 ) -> Ciphertext:

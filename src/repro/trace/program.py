@@ -54,6 +54,25 @@ class TraceOp:
         if self.count < 0:
             raise ParameterError("op count must be non-negative")
 
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "level": self.level,
+            "count": self.count,
+            "dst_level": self.dst_level,
+            "scale_bits": self.scale_bits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceOp":
+        return cls(
+            kind=OpKind(data["kind"]),
+            level=data["level"],
+            count=data["count"],
+            dst_level=data["dst_level"],
+            scale_bits=data["scale_bits"],
+        )
+
 
 @dataclass
 class HeTrace:
@@ -96,6 +115,26 @@ class HeTrace:
             base_bits=self.base_bits,
             level_scale_bits=self.level_scale_bits,
             ops=self.ops + list(ops),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for the experiment runner's disk cache."""
+        return {
+            "name": self.name,
+            "n": self.n,
+            "base_bits": self.base_bits,
+            "level_scale_bits": list(self.level_scale_bits),
+            "ops": [op.to_dict() for op in self.ops],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HeTrace":
+        return cls(
+            name=data["name"],
+            n=data["n"],
+            base_bits=data["base_bits"],
+            level_scale_bits=tuple(data["level_scale_bits"]),
+            ops=[TraceOp.from_dict(op) for op in data["ops"]],
         )
 
 

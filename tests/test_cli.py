@@ -3,6 +3,22 @@
 import pytest
 
 from repro.cli import FIGURES, main
+from repro.eval import runner
+
+
+@pytest.fixture()
+def figure_args(tmp_path):
+    """Isolated --cache-dir/--results-dir args; restores runner config.
+
+    ``figure`` reconfigures the process-global cache, so every CLI
+    figure test must pin it to a tmp dir and put it back afterwards.
+    """
+    previous = runner.active_cache()
+    yield [
+        "--cache-dir", str(tmp_path / "cache"),
+        "--results-dir", str(tmp_path / "results"),
+    ]
+    runner._ACTIVE = previous
 
 
 class TestPlanCommand:
@@ -36,14 +52,53 @@ class TestCompareCommand:
 
 
 class TestFigureCommand:
-    def test_fig10(self, capsys):
-        rc = main(["figure", "fig10"])
+    def test_fig10(self, capsys, tmp_path, figure_args):
+        rc = main(["figure", "fig10", *figure_args])
         assert rc == 0
-        assert "Fig. 10" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "Fig. 10" in captured.out
+        assert "[fig10] done" in captured.err
+        result_file = tmp_path / "results" / "fig10_energy_breakdown.txt"
+        assert result_file.read_text() == captured.out[:-1]
 
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])
+
+    def test_failed_figure_reported_and_rest_still_run(
+        self, capsys, tmp_path, figure_args, monkeypatch
+    ):
+        monkeypatch.setitem(
+            FIGURES, "figbad", ("repro.eval.does_not_exist", "figbad", "n/a")
+        )
+        rc = main(["figure", "figbad", "fig10", *figure_args])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "[figbad] FAILED" in captured.err
+        # The failure did not stop the remaining figures.
+        assert (tmp_path / "results" / "fig10_energy_breakdown.txt").exists()
+        assert "Fig. 10" in captured.out
+
+    def test_rejects_bad_jobs(self, figure_args):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            main(["figure", "fig10", "--jobs", "0", *figure_args])
+
+    def test_warm_rerun_served_from_cache(self, capsys, figure_args):
+        """Second CLI invocation reads everything back from disk."""
+        from repro.eval import common
+
+        common.clear_memory_caches()  # force the cold run onto disk
+        assert main(["figure", "fig11", *figure_args]) == 0
+        common.clear_memory_caches()
+        assert main(["figure", "fig11", *figure_args]) == 0
+        # Each invocation installs a fresh cache object, so these
+        # counters cover the warm run only.
+        cache = runner.active_cache()
+        assert cache.miss_count() == 0
+        assert cache.hit_count("simulate") > 0
+        assert "0 misses" in capsys.readouterr().err
 
     def test_registry_complete(self):
         expected = {
@@ -60,3 +115,14 @@ class TestListFigures:
         out = capsys.readouterr().out
         for name in FIGURES:
             assert name in out
+
+
+class TestLintCommand:
+    def test_default_path_resolves_installed_package(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """``lint`` with no paths must work from any working directory."""
+        monkeypatch.chdir(tmp_path)
+        rc = main(["lint", "--rules", "exception-hygiene"])
+        assert rc == 0
+        assert "fhelint: clean" in capsys.readouterr().out

@@ -34,6 +34,14 @@ class TestCommon:
         with pytest.raises(ParameterError):
             common.gmean([])
 
+    def test_gmean_rejects_nonpositive_values(self):
+        with pytest.raises(ParameterError, match="strictly positive"):
+            common.gmean([1.0, 0.0])
+        with pytest.raises(ParameterError, match="strictly positive"):
+            common.gmean([2.0, -3.0])
+        with pytest.raises(ParameterError, match="strictly positive"):
+            common.gmean([1.0, float("nan")])
+
     def test_grid_is_ten_workloads(self):
         assert len(common.WORKLOAD_GRID) == 10
 
@@ -45,6 +53,12 @@ class TestCommon:
     def test_format_table(self):
         text = common.format_table(["a", "bb"], [[1, 2], [30, 4]])
         assert "a" in text and "30" in text
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ParameterError, match="row 1"):
+            common.format_table(["a", "bb"], [[1, 2], [30]])
+        with pytest.raises(ParameterError, match="row 0"):
+            common.format_table(["a", "bb"], [[1, 2, 3]])
 
 
 class TestFig10:

@@ -1,0 +1,221 @@
+"""Tests for the disk-cached, parallel experiment runner.
+
+Covers the ISSUE 3 acceptance criteria directly: a cold run populates
+the content-addressed store, a warm re-run serves every artifact from
+disk (zero ``simulate`` misses), calibration-constant changes invalidate
+records via the model fingerprint, and parallel fan-out renders
+byte-identically to serial runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.eval import common, fig11, fig14, runner
+
+
+@pytest.fixture()
+def fresh_cache(tmp_path):
+    """A private cache dir; restores the session cache afterwards."""
+    previous = runner.active_cache()
+    cache = runner.configure(cache_dir=tmp_path / "cache", enabled=True)
+    common.clear_memory_caches()
+    yield cache
+    runner._ACTIVE = previous
+    common.clear_memory_caches()
+
+
+class TestRunnerCache:
+    def test_store_load_round_trip(self, fresh_cache):
+        params = {"app": "LogReg", "word_bits": 28}
+        fresh_cache.store("simulate", params, {"time_ms": 1.5})
+        found, payload = fresh_cache.load("simulate", params)
+        assert found and payload == {"time_ms": 1.5}
+        assert fresh_cache.hit_count("simulate") == 1
+
+    def test_missing_record_counts_miss(self, fresh_cache):
+        found, _ = fresh_cache.load("simulate", {"app": "nope"})
+        assert not found
+        assert fresh_cache.miss_count("simulate") == 1
+
+    def test_corrupt_record_dropped_and_recomputed(self, fresh_cache):
+        params = {"app": "LogReg"}
+        fresh_cache.store("simulate", params, [1, 2])
+        path = fresh_cache.record_path("simulate", params)
+        path.write_text("{not json")
+        found, _ = fresh_cache.load("simulate", params)
+        assert not found
+        assert not path.exists()
+
+    def test_force_misses_but_still_stores(self, tmp_path):
+        cache = runner.RunnerCache(tmp_path, force=True)
+        cache.store("simulate", {"a": 1}, 42)
+        found, _ = cache.load("simulate", {"a": 1})
+        assert not found  # force recomputes...
+        relaxed = runner.RunnerCache(tmp_path)
+        found, payload = relaxed.load("simulate", {"a": 1})
+        assert found and payload == 42  # ...but records were refreshed
+
+    def test_disabled_cache_never_touches_disk(self, tmp_path):
+        cache = runner.RunnerCache(tmp_path / "never", enabled=False)
+        cache.store("simulate", {"a": 1}, 42)
+        found, _ = cache.load("simulate", {"a": 1})
+        assert not found
+        assert not (tmp_path / "never").exists()
+
+    def test_unserializable_params_raise(self, fresh_cache):
+        with pytest.raises(ParameterError):
+            fresh_cache.cache_key("simulate", {"bad": object()})
+
+    def test_record_is_auditable_json(self, fresh_cache):
+        params = {"app": "LogReg", "scheme": "bitpacker"}
+        fresh_cache.store("simulate", params, {"time_ms": 2.0})
+        record = json.loads(
+            fresh_cache.record_path("simulate", params).read_text()
+        )
+        assert record["kind"] == "simulate"
+        assert record["params"] == params
+        assert record["fingerprint"] == runner.model_fingerprint()
+
+
+class TestFingerprint:
+    def test_fingerprint_changes_with_model_constant(self, monkeypatch):
+        before = runner.model_fingerprint()
+        monkeypatch.setattr(
+            "repro.accel.sim.STREAMING_FRACTION", 0.25
+        )
+        assert runner.model_fingerprint() != before
+
+    def test_constant_change_invalidates_record(self, fresh_cache, monkeypatch):
+        params = {"app": "LogReg", "word_bits": 28}
+        fresh_cache.store("simulate", params, {"time_ms": 1.5})
+        found, _ = fresh_cache.load("simulate", params)
+        assert found
+        monkeypatch.setattr("repro.accel.sim.MISS_PRESSURE_COEFF", 0.99)
+        found, _ = fresh_cache.load("simulate", params)
+        assert not found  # key moved with the fingerprint
+
+
+class TestCachedHarnesses:
+    def test_cold_then_warm_identical_rows(self, fresh_cache):
+        cold = fig11.run()
+        assert fresh_cache.miss_count("simulate") == 2 * len(
+            common.WORKLOAD_GRID
+        )
+        assert fresh_cache.hit_count("simulate") == 0
+        common.clear_memory_caches()
+        fresh_cache.reset_counters()
+        warm = fig11.run()
+        assert fresh_cache.miss_count() == 0
+        assert fresh_cache.hit_count("simulate") == 2 * len(
+            common.WORKLOAD_GRID
+        )
+        assert warm == cold
+        assert fig11.render(warm) == fig11.render(cold)
+
+    def test_warm_fig14_performs_zero_simulations(self):
+        """Acceptance criterion: a warm fig14 re-run is pure cache.
+
+        Uses the suite's session-scoped cache so the full word-size
+        sweep is only ever computed once across this class.
+        """
+        cache = runner.active_cache()
+        first_render = fig14.render(fig14.run())  # populates the store
+        common.clear_memory_caches()
+        cache.reset_counters()
+        warm_render = fig14.render(fig14.run())
+        assert cache.miss_count("simulate") == 0
+        assert cache.miss_count() == 0
+        assert warm_render == first_render
+
+    def test_fig14_parallel_matches_serial_bytes(self):
+        """Acceptance criterion: --jobs 4 output is byte-identical."""
+        serial = fig14.render(fig14.run(jobs=1))
+        common.clear_memory_caches()
+        parallel = fig14.render(fig14.run(jobs=4))
+        assert parallel == serial
+
+    def test_fig11_parallel_matches_serial_bytes(self, fresh_cache):
+        serial = fig11.render(fig11.run(jobs=1))
+        common.clear_memory_caches()
+        parallel = fig11.render(fig11.run(jobs=2))
+        assert parallel == serial
+
+
+class TestMapGrid:
+    def test_preserves_grid_order(self, fresh_cache):
+        calls = [dict(x=i) for i in range(8)]
+        assert runner.map_grid(_echo, calls, jobs=1) == list(range(8))
+        assert runner.map_grid(_echo, calls, jobs=3) == list(range(8))
+
+    def test_rejects_bad_jobs(self, fresh_cache):
+        with pytest.raises(ParameterError):
+            runner.map_grid(_echo, [dict(x=1), dict(x=2)], jobs=0)
+
+    def test_worker_results_land_in_shared_disk_cache(self, fresh_cache):
+        fig11.run(jobs=2)  # computed in worker processes
+        common.clear_memory_caches()
+        fresh_cache.reset_counters()
+        fig11.run(jobs=1)  # serial re-run sees the workers' records
+        assert fresh_cache.miss_count("simulate") == 0
+
+
+class TestSerialization:
+    """The to_dict/from_dict pairs the disk cache rides on must be exact."""
+
+    def test_sim_result_round_trip(self, fresh_cache):
+        result = common.simulate("LogReg", "BS19", "bitpacker", 28)
+        from repro.accel.sim import SimResult
+
+        clone = SimResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert clone == result
+
+    def test_cpu_result_round_trip(self, fresh_cache):
+        result = common.simulate_cpu("LogReg", "BS19", "bitpacker", 64)
+        from repro.cpu.model import CpuResult
+
+        clone = CpuResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert clone == result
+
+    def test_trace_round_trip(self, fresh_cache):
+        trace = common.trace_for("LogReg", "BS19", "bitpacker", 28)
+        from repro.trace.program import HeTrace
+
+        clone = HeTrace.from_dict(json.loads(json.dumps(trace.to_dict())))
+        assert clone == trace
+
+    def test_chain_round_trip_preserves_exact_scales(self, fresh_cache):
+        from repro.schemes import chain_from_dict, chain_to_dict
+
+        for scheme in common.SCHEMES:
+            chain = common.chain_for("LogReg", "BS19", scheme, 28)
+            clone = chain_from_dict(
+                json.loads(json.dumps(chain_to_dict(chain)))
+            )
+            assert type(clone) is type(chain)
+            top = chain.max_level
+            for level in range(top + 1):
+                # Scales are exact Fractions with huge numerators; the
+                # string encoding must not lose a single bit.
+                assert clone.scale_at(level) == chain.scale_at(level)
+                assert clone.residues_at(level) == chain.residues_at(level)
+
+    def test_unknown_scheme_rejected(self):
+        from repro.schemes import chain_from_dict
+
+        with pytest.raises(ParameterError):
+            chain_from_dict({
+                "scheme": "bgv", "n": 64, "word_bits": 28,
+                "ks_digits": 2, "special_moduli": [], "levels": [],
+            })
+
+
+def _echo(x):
+    return x
