@@ -7,8 +7,15 @@ Usage (``python -m repro ...``)::
     python -m repro compare --word 28
     python -m repro figure fig11 fig15 --jobs 4
     python -m repro figure fig14 --cache-dir /tmp/bp-cache --force
+    python -m repro figure fig14 fig18 --jobs 4 --timeout 90 --keep-going
     python -m repro list-figures
     python -m repro lint --traces
+
+``figure`` treats sweeps as restartable batch jobs: worker crashes and
+hung tasks are retried (``--retries``/``--timeout``), recoveries are
+summarized per figure, Ctrl-C exits 130 with completed figures flushed
+to ``results/``, and a re-run resumes from the disk cache (DESIGN.md
+Sec. 9).
 """
 
 from __future__ import annotations
@@ -90,6 +97,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--results-dir", default="results", metavar="DIR",
         help="where to write <figure>.txt outputs (default: results/)",
     )
+    figure.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task deadline in parallel runs; a task past it is "
+             "abandoned and retried (default: none)",
+    )
+    figure.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts per crashed/hung grid task (default: 2; "
+             "deterministic model errors are never retried)",
+    )
+    figure.add_argument(
+        "--keep-going", action="store_true",
+        help="after one figure fails, still run the remaining ones "
+             "(exit non-zero at the end)",
+    )
 
     sub.add_parser("list-figures", help="list available experiments")
 
@@ -150,6 +172,18 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _print_recovery_events(name: str, runner) -> None:
+    """Summarize the recoveries map_grid performed for one figure."""
+    from collections import Counter
+
+    events = runner.take_events()
+    if not events:
+        return
+    counts = Counter(event.kind for event in events)
+    summary = ", ".join(f"{n}x {kind}" for kind, n in sorted(counts.items()))
+    print(f"[{name}] recovery events: {summary}", file=sys.stderr)
+
+
 def _cmd_figure(args) -> int:
     import importlib
     import inspect
@@ -166,9 +200,12 @@ def _cmd_figure(args) -> int:
         enabled=False if args.no_cache else None,
         force=args.force,
     )
+    runner.configure_policy(timeout=args.timeout, retries=args.retries)
+    runner.take_events()  # drop anything stale from earlier in-process runs
     results_dir = Path(args.results_dir)
     results_dir.mkdir(parents=True, exist_ok=True)
     failed = []
+    interrupted = False
     for name in args.names:
         module_path, stem, note = FIGURES[name]
         print(f"[{name}] running ({note})", file=sys.stderr)
@@ -179,23 +216,48 @@ def _cmd_figure(args) -> int:
             if "jobs" in inspect.signature(module.run).parameters:
                 kwargs["jobs"] = args.jobs
             text = module.render(module.run(**kwargs))
+        except KeyboardInterrupt:
+            # map_grid has already cancelled pending futures and killed
+            # its workers; everything computed so far is in the disk
+            # cache and every finished figure is in results/.
+            _print_recovery_events(name, runner)
+            print(f"[{name}] interrupted", file=sys.stderr)
+            interrupted = True
+            break
         except Exception as exc:
+            # Covers harness errors and worker-level crashes alike: a
+            # sweep that exhausts its retries surfaces as RunnerError
+            # here instead of tearing down the whole invocation.
             traceback.print_exc(file=sys.stderr)
+            _print_recovery_events(name, runner)
             print(f"[{name}] FAILED: {exc}", file=sys.stderr)
             failed.append(name)
-            continue
+            if args.keep_going:
+                continue
+            break
         out_path = results_dir / f"{stem}.txt"
         out_path.write_text(text + "\n")
         elapsed = time.monotonic() - started
+        _print_recovery_events(name, runner)
         print(f"[{name}] done in {elapsed:.1f}s -> {out_path}", file=sys.stderr)
         print(text)
         print()
     cache = runner.active_cache()
+    corrupt = (
+        f", {cache.corrupt_count} quarantined" if cache.corrupt_count else ""
+    )
     print(
-        f"[cache] {cache.hit_count()} hits, {cache.miss_count()} misses "
-        f"({cache.cache_dir if cache.enabled else 'disabled'})",
+        f"[cache] {cache.hit_count()} hits, {cache.miss_count()} misses"
+        f"{corrupt} ({cache.cache_dir if cache.enabled else 'disabled'})",
         file=sys.stderr,
     )
+    if interrupted:
+        print(
+            "[figure] interrupted — completed figures are in "
+            f"{results_dir}/, cached points will be reused on re-run",
+            file=sys.stderr,
+        )
+        return 130
     if failed:
         print(f"[figure] failed: {', '.join(failed)}", file=sys.stderr)
         return 1

@@ -8,6 +8,13 @@ after an expensive one is instant *across* CLI invocations too.  A
 cached record is keyed by its parameters plus a fingerprint of the
 model's calibration constants, so editing a constant recomputes instead
 of serving stale rows.
+
+Failure model: these artifact functions are the tasks
+:func:`repro.eval.runner.map_grid` fans out, so they must stay safe to
+*replay* — each is a pure function of its parameters, and a record that
+went missing (crashed worker, quarantined corruption) is simply
+recomputed on the next call.  Nothing here may cache partial state
+outside the runner's store (DESIGN.md Sec. 9).
 """
 
 from __future__ import annotations

@@ -1,0 +1,314 @@
+"""Deterministic fault injection for the experiment runner.
+
+Long sweeps die in ways unit tests never exercise: a worker segfaults
+(``BrokenProcessPool``), one simulation point hangs, a record write is
+interrupted mid-file.  This module makes those failures *injectable on
+a fixed, seedable schedule*, so the recovery machinery in
+:mod:`repro.eval.runner` is tested against the exact fault it claims to
+survive — and the test is reproducible, because nothing here consults a
+wall clock or an unseeded RNG.
+
+Activation is either the ``BITPACKER_FAULTS`` environment variable
+(read at import, inherited by worker processes through the pool
+initializer) or the :func:`injected` context manager in tests.  When no
+plan is installed, ``ACTIVE`` is ``False`` and every hook is a single
+attribute check — the same zero-cost-when-off standard as the runtime
+sanitizer (DESIGN.md Sec. 7).
+
+Spec grammar (full description in DESIGN.md Sec. 9)::
+
+    spec    := clause (';' clause)*
+    clause  := site ':' mode target? | 'seed=' int | 'hang=' float
+    site    := 'task' | 'store'
+    mode    := 'raise' | 'hang' | 'kill' | 'interrupt'   (task site)
+             | 'corrupt' | 'truncate'                    (store site)
+    target  := '@' index[*] (',' index[*])*   fixed schedule
+             | '%' float                      seeded per-index probability
+
+``task`` indices are grid positions in :func:`repro.eval.runner.map_grid`
+(0-based); ``store`` indices count :meth:`RunnerCache.store` calls since
+the plan was installed (0-based, per process).  A scheduled fault fires
+on the task's *first* attempt only — retries run clean, which is what
+makes every injected fault recoverable — unless the index carries a
+``*`` suffix (``task:raise@1*`` fails attempt after attempt, for
+testing retry exhaustion).  Probabilistic clauses hash
+``(seed, site, mode, index)`` into [0, 1), so two processes — or two
+runs — agree on exactly which points fail without sharing state.
+
+Example: kill the worker running task 2, hang task 5 for 0.4 s, and
+truncate the third cache record written::
+
+    BITPACKER_FAULTS='task:kill@2;task:hang@5;store:truncate@2;hang=0.4'
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ParameterError
+
+ENV_FAULTS = "BITPACKER_FAULTS"
+
+TASK_SITE = "task"
+STORE_SITE = "store"
+
+#: Worker-exit status for an injected kill (distinctive in core dumps).
+KILL_EXIT_CODE = 86
+
+_MODES_BY_SITE = {
+    TASK_SITE: frozenset({"raise", "hang", "kill", "interrupt"}),
+    STORE_SITE: frozenset({"corrupt", "truncate"}),
+}
+
+#: ``True`` iff a fault plan is installed; hot paths check only this.
+ACTIVE = False
+
+_PLAN: "FaultPlan | None" = None
+_IN_WORKER = False
+
+
+class FaultInjected(Exception):
+    """An injected task crash.
+
+    Deliberately *not* a :class:`repro.errors.ReproError`: it stands in
+    for an arbitrary runtime crash (segfault, OOM kill, cosmic ray), so
+    the runner must treat it as retryable, unlike deterministic domain
+    errors from the library.
+    """
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One ``site:mode`` clause of a fault spec."""
+
+    site: str
+    mode: str
+    #: Fixed schedule: the indices this clause fires at (``None`` for
+    #: probabilistic clauses).
+    indices: frozenset[int] | None = None
+    #: Subset of ``indices`` that fire on *every* attempt (``*`` suffix).
+    every_attempt: frozenset[int] = frozenset()
+    #: Per-index firing probability (``None`` for scheduled clauses).
+    probability: float | None = None
+
+    def fires(self, index: int, attempt: int, seed: int) -> bool:
+        if self.indices is not None:
+            if index not in self.indices:
+                return False
+            return attempt == 1 or index in self.every_attempt
+        if attempt != 1:
+            return False
+        return _fraction(seed, self.site, self.mode, index) < self.probability
+
+
+@dataclass
+class FaultPlan:
+    """A parsed fault spec plus the per-process store-site counter."""
+
+    clauses: tuple[FaultClause, ...]
+    seed: int = 0
+    hang_seconds: float = 30.0
+    spec: str = ""
+
+    def __post_init__(self) -> None:
+        self._store_index = 0
+
+    def decide(self, site: str, index: int, attempt: int) -> str | None:
+        """The fault mode to inject at this point, or ``None``."""
+        for clause in self.clauses:
+            if clause.site == site and clause.fires(index, attempt, self.seed):
+                return clause.mode
+        return None
+
+    def next_store_index(self) -> int:
+        index = self._store_index
+        self._store_index = index + 1
+        return index
+
+
+def _fraction(seed: int, site: str, mode: str, index: int) -> float:
+    """Deterministic hash of the injection point into [0, 1)."""
+    blob = f"{seed}:{site}:{mode}:{index}".encode()
+    return int(hashlib.sha256(blob).hexdigest()[:8], 16) / 2.0**32
+
+
+# ----------------------------------------------------------------------
+# Spec parsing
+# ----------------------------------------------------------------------
+def parse(spec: str) -> FaultPlan:
+    """Parse a ``BITPACKER_FAULTS`` spec string into a :class:`FaultPlan`."""
+    clauses: list[FaultClause] = []
+    seed = 0
+    hang_seconds = 30.0
+    for raw in spec.split(";"):
+        part = raw.strip()
+        if not part:
+            continue
+        if part.startswith("seed="):
+            seed = _parse_int(part[len("seed="):], part)
+        elif part.startswith("hang="):
+            hang_seconds = _parse_float(part[len("hang="):], part)
+        else:
+            clauses.append(_parse_clause(part))
+    return FaultPlan(
+        clauses=tuple(clauses), seed=seed, hang_seconds=hang_seconds,
+        spec=spec,
+    )
+
+
+def _parse_clause(part: str) -> FaultClause:
+    site, _, rest = part.partition(":")
+    if site not in _MODES_BY_SITE or not rest:
+        raise ParameterError(
+            f"bad fault clause {part!r}: expected "
+            f"'site:mode[@i,j|%p]' with site in {sorted(_MODES_BY_SITE)}"
+        )
+    if "@" in rest:
+        mode, _, schedule = rest.partition("@")
+        indices: set[int] = set()
+        every: set[int] = set()
+        for token in schedule.split(","):
+            token = token.strip()
+            starred = token.endswith("*")
+            index = _parse_int(token.rstrip("*"), part)
+            indices.add(index)
+            if starred:
+                every.add(index)
+        clause = FaultClause(
+            site=site, mode=mode, indices=frozenset(indices),
+            every_attempt=frozenset(every),
+        )
+    elif "%" in rest:
+        mode, _, prob = rest.partition("%")
+        probability = _parse_float(prob, part)
+        if not 0.0 <= probability <= 1.0:
+            raise ParameterError(
+                f"bad fault clause {part!r}: probability must be in [0, 1]"
+            )
+        clause = FaultClause(site=site, mode=mode, probability=probability)
+    else:
+        # A bare `site:mode` fires at every index (first attempts only).
+        clause = FaultClause(site=site, mode=rest, probability=1.0)
+    if clause.mode not in _MODES_BY_SITE[site]:
+        raise ParameterError(
+            f"bad fault clause {part!r}: mode {clause.mode!r} is not valid "
+            f"for site {site!r} (valid: {sorted(_MODES_BY_SITE[site])})"
+        )
+    return clause
+
+
+def _parse_int(text: str, context: str) -> int:
+    try:
+        return int(text)
+    except ValueError as exc:
+        raise ParameterError(
+            f"bad fault spec part {context!r}: {text!r} is not an integer"
+        ) from exc
+
+
+def _parse_float(text: str, context: str) -> float:
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise ParameterError(
+            f"bad fault spec part {context!r}: {text!r} is not a number"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Activation
+# ----------------------------------------------------------------------
+def configure(spec: str | None) -> FaultPlan | None:
+    """Install (or with ``None``, remove) the process's fault plan."""
+    global _PLAN, ACTIVE
+    _PLAN = parse(spec) if spec else None
+    ACTIVE = _PLAN is not None
+    return _PLAN
+
+
+def active_plan() -> FaultPlan | None:
+    return _PLAN
+
+
+def active_spec() -> str | None:
+    """The installed spec string (handed to pool workers at init)."""
+    return _PLAN.spec if _PLAN is not None else None
+
+
+def mark_worker() -> None:
+    """Tell the injector it runs inside a pool worker (enables ``kill``)."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+@contextmanager
+def injected(spec: str) -> Iterator[FaultPlan]:
+    """Context manager for tests: install ``spec``, restore on exit."""
+    global _PLAN, ACTIVE
+    previous = _PLAN
+    plan = configure(spec)
+    try:
+        yield plan
+    finally:
+        _PLAN = previous
+        ACTIVE = previous is not None
+
+
+# ----------------------------------------------------------------------
+# Injection hooks (called by repro.eval.runner when ACTIVE)
+# ----------------------------------------------------------------------
+def fire_task(index: int, attempt: int) -> None:
+    """Inject the scheduled task-site fault, if any, at this point.
+
+    ``raise`` raises :class:`FaultInjected`; ``hang`` sleeps the plan's
+    ``hang_seconds`` (long enough to trip any sane deadline) and then
+    proceeds; ``interrupt`` raises ``KeyboardInterrupt`` as if the user
+    hit Ctrl-C mid-task; ``kill`` hard-exits the worker process —
+    downgraded to ``raise`` outside a pool worker, where ``os._exit``
+    would take the whole sweep (and the test suite) with it.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    mode = plan.decide(TASK_SITE, index, attempt)
+    if mode is None:
+        return
+    if mode == "hang":
+        time.sleep(plan.hang_seconds)
+        return
+    if mode == "interrupt":
+        raise KeyboardInterrupt(
+            f"injected interrupt at task {index} attempt {attempt}"
+        )
+    if mode == "kill" and _IN_WORKER:
+        os._exit(KILL_EXIT_CODE)
+    raise FaultInjected(
+        f"injected {mode} at task {index} attempt {attempt}"
+    )
+
+
+def mangle_record(text: str) -> str:
+    """Apply the scheduled store-site fault, if any, to a record's JSON.
+
+    ``truncate`` models a write cut off mid-file (unparseable);
+    ``corrupt`` models silent bit-rot that still parses but fails the
+    schema check.  Both must be absorbed by the cache's quarantine path,
+    never by the caller.
+    """
+    plan = _PLAN
+    if plan is None:
+        return text
+    mode = plan.decide(STORE_SITE, plan.next_store_index(), 1)
+    if mode == "truncate":
+        return text[: max(1, len(text) // 2)]
+    if mode == "corrupt":
+        return '{"schema": -1, "corrupted": true}'
+    return text
+
+
+configure(os.environ.get(ENV_FAULTS) or None)

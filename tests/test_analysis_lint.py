@@ -229,6 +229,85 @@ class TestExceptionHygienePass:
         assert findings == []
 
 
+class TestExceptionSwallowPass:
+    def test_bare_except_flagged(self):
+        findings = lint_str(
+            """
+            def f(x):
+                try:
+                    return g(x)
+                except:
+                    return None
+            """,
+            ["exception-swallow"],
+        )
+        assert len(findings) == 1
+        assert "bare `except:`" in findings[0].message
+
+    def test_broad_pass_swallow_flagged(self):
+        findings = lint_str(
+            """
+            def f(x):
+                try:
+                    g(x)
+                except Exception:
+                    pass
+                for y in x:
+                    try:
+                        g(y)
+                    except (OSError, BaseException):
+                        continue
+            """,
+            ["exception-swallow"],
+        )
+        assert len(findings) == 2
+        assert "Exception" in findings[0].message
+        assert "BaseException" in findings[1].message
+
+    def test_handled_broad_catch_not_flagged(self):
+        """Catching Exception is fine when the handler *does* something
+        (log, re-raise, fall back) — only silent swallows are flagged."""
+        findings = lint_str(
+            """
+            def f(x):
+                try:
+                    return g(x)
+                except Exception as exc:
+                    record(exc)
+                    return None
+            """,
+            ["exception-swallow"],
+        )
+        assert findings == []
+
+    def test_narrow_pass_swallow_not_flagged(self):
+        findings = lint_str(
+            """
+            def f(path):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            """,
+            ["exception-swallow"],
+        )
+        assert findings == []
+
+    def test_pragma_suppresses_with_reason(self):
+        findings = lint_str(
+            """
+            def f():
+                try:
+                    tune()
+                except Exception:
+                    # fhelint: ok[exception-swallow] best-effort tuning
+                    pass
+            """,
+            ["exception-swallow"],
+        )
+        assert findings == []
+
+
 class TestDriver:
     def test_unknown_rule_rejected(self):
         with pytest.raises(ParameterError, match="unknown lint rules"):

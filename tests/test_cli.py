@@ -65,7 +65,7 @@ class TestFigureCommand:
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])
 
-    def test_failed_figure_reported_and_rest_still_run(
+    def test_failed_figure_stops_run_by_default(
         self, capsys, tmp_path, figure_args, monkeypatch
     ):
         monkeypatch.setitem(
@@ -75,9 +75,41 @@ class TestFigureCommand:
         assert rc == 1
         captured = capsys.readouterr()
         assert "[figbad] FAILED" in captured.err
+        # Fail-fast: the remaining figures were not attempted.
+        assert not (tmp_path / "results" / "fig10_energy_breakdown.txt").exists()
+
+    def test_keep_going_runs_rest_after_failure(
+        self, capsys, tmp_path, figure_args, monkeypatch
+    ):
+        monkeypatch.setitem(
+            FIGURES, "figbad", ("repro.eval.does_not_exist", "figbad", "n/a")
+        )
+        rc = main(["figure", "figbad", "fig10", "--keep-going", *figure_args])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "[figbad] FAILED" in captured.err
         # The failure did not stop the remaining figures.
         assert (tmp_path / "results" / "fig10_energy_breakdown.txt").exists()
         assert "Fig. 10" in captured.out
+
+    def test_interrupted_figure_exits_130(
+        self, capsys, tmp_path, figure_args, monkeypatch
+    ):
+        """Ctrl-C mid-harness: clean exit 130, finished figures kept."""
+        import repro.eval.fig10 as fig10
+
+        def interrupt():
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(fig10, "run", interrupt)
+        rc = main(["figure", "sec61", "fig10", "sec63", *figure_args])
+        assert rc == 130
+        captured = capsys.readouterr()
+        assert "[fig10] interrupted" in captured.err
+        # The figure finished before the interrupt was flushed...
+        assert (tmp_path / "results" / "sec61_security_params.txt").exists()
+        # ...and nothing after the interrupt ran.
+        assert not (tmp_path / "results" / "sec63_area_reduction.txt").exists()
 
     def test_rejects_bad_jobs(self, figure_args):
         from repro.errors import ParameterError

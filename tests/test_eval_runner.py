@@ -41,7 +41,7 @@ class TestRunnerCache:
         assert not found
         assert fresh_cache.miss_count("simulate") == 1
 
-    def test_corrupt_record_dropped_and_recomputed(self, fresh_cache):
+    def test_corrupt_record_quarantined_and_recomputed(self, fresh_cache):
         params = {"app": "LogReg"}
         fresh_cache.store("simulate", params, [1, 2])
         path = fresh_cache.record_path("simulate", params)
@@ -49,6 +49,50 @@ class TestRunnerCache:
         found, _ = fresh_cache.load("simulate", params)
         assert not found
         assert not path.exists()
+        assert fresh_cache.corrupt_count == 1
+        quarantined = list(fresh_cache.quarantine_dir().iterdir())
+        assert len(quarantined) == 1
+        assert quarantined[0].name.startswith("simulate-")
+
+    def test_hand_truncated_record_is_a_miss_not_a_crash(self, fresh_cache):
+        """Regression: a record cut off mid-write (killed worker, full
+        disk) must never abort the sweep — quarantine and recompute."""
+        params = {"app": "LogReg", "word_bits": 28}
+        fresh_cache.store("simulate", params, {"time_ms": 1.5})
+        path = fresh_cache.record_path("simulate", params)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        found, payload = fresh_cache.load("simulate", params)
+        assert (found, payload) == (False, None)
+        assert fresh_cache.corrupt_count == 1
+        assert not path.exists()
+        # The next store repairs the slot.
+        fresh_cache.store("simulate", params, {"time_ms": 1.5})
+        assert fresh_cache.load("simulate", params)[0]
+
+    def test_schema_mismatch_quarantined(self, fresh_cache):
+        """A parseable record with the wrong schema version is stale by
+        definition: treat exactly like corruption."""
+        params = {"app": "LogReg"}
+        fresh_cache.store("simulate", params, 42)
+        path = fresh_cache.record_path("simulate", params)
+        record = json.loads(path.read_text())
+        record["schema"] = runner.CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(record))
+        found, _ = fresh_cache.load("simulate", params)
+        assert not found
+        assert fresh_cache.corrupt_count == 1
+
+    def test_store_is_atomic_no_partial_record_visible(self, fresh_cache):
+        """store() publishes via temp-file + os.replace: the record dir
+        never contains a half-written .json, even transiently."""
+        params = {"app": "LogReg"}
+        fresh_cache.store("simulate", params, list(range(100)))
+        kind_dir = fresh_cache.record_path("simulate", params).parent
+        leftovers = [p for p in kind_dir.iterdir() if p.suffix != ".json"]
+        assert leftovers == []
+        for record_file in kind_dir.iterdir():
+            json.loads(record_file.read_text())  # every visible file parses
 
     def test_force_misses_but_still_stores(self, tmp_path):
         cache = runner.RunnerCache(tmp_path, force=True)
@@ -76,6 +120,7 @@ class TestRunnerCache:
         record = json.loads(
             fresh_cache.record_path("simulate", params).read_text()
         )
+        assert record["schema"] == runner.CACHE_SCHEMA_VERSION
         assert record["kind"] == "simulate"
         assert record["params"] == params
         assert record["fingerprint"] == runner.model_fingerprint()
