@@ -58,6 +58,13 @@ SPILL_TURNOVER = 0.6
 #: BitPacker's fits down to ~200 MB with no loss.
 PIPELINE_RESIDENCY = 1.2
 
+#: Kernel-accounting keys, in the order ties are broken: the functional
+#: units of :meth:`AcceleratorSim.op_cycle_components` plus the HBM
+#: service path.  Every op's cycles are attributed wholly to its
+#: bottleneck kernel, so the per-kernel table sums to the total exactly
+#: (the Fig. 10/12 cross-check the profile layer asserts).
+KERNELS = ("ntt", "crb", "mul", "add", "auto", "kshgen", "hbm")
+
 
 @dataclass
 class SimResult:
@@ -75,6 +82,10 @@ class SimResult:
     hbm_bytes: float = 0.0
     energy_by_component: dict[str, float] = field(default_factory=dict)
     cycles_by_kind: dict[str, float] = field(default_factory=dict)
+    #: Bottleneck attribution: cycles charged to the functional unit (or
+    #: HBM) that limited each op, keyed by :data:`KERNELS`.  Sums to
+    #: :attr:`cycles` within float error by construction.
+    kernel_cycles: dict[str, float] = field(default_factory=dict)
     clock_ghz: float = 1.0
 
     @property
@@ -93,6 +104,42 @@ class SimResult:
     @property
     def level_mgmt_energy_fraction(self) -> float:
         return self.level_mgmt_energy_j / self.energy_j if self.energy_j else 0.0
+
+    def kernel_shares(self) -> dict[str, float]:
+        """Per-kernel fraction of total cycles (sums to 1.0 ± float error)."""
+        if not self.cycles:
+            return {}
+        return {
+            kernel: cycles / self.cycles
+            for kernel, cycles in self.kernel_cycles.items()
+        }
+
+    def kernel_table(self) -> list[tuple[str, float, float, float, float]]:
+        """Per-kernel ``(name, cycles, cycle share, joules, energy share)``.
+
+        The union of the cycle-attribution keys (:data:`KERNELS`) and the
+        energy components (Fig. 10's legend plus HBM/static); a kernel
+        missing on one axis reports zero there — the register file, for
+        example, costs energy but is never a cycle bottleneck.
+        """
+        shares = self.kernel_shares()
+        names = list(
+            dict.fromkeys(list(self.kernel_cycles) + list(self.energy_by_component))
+        )
+        return [
+            (
+                name,
+                self.kernel_cycles.get(name, 0.0),
+                shares.get(name, 0.0),
+                self.energy_by_component.get(name, 0.0),
+                (
+                    self.energy_by_component.get(name, 0.0) / self.energy_j
+                    if self.energy_j
+                    else 0.0
+                ),
+            )
+            for name in names
+        ]
 
     def to_dict(self) -> dict:
         """JSON-ready form for the experiment runner's disk cache."""
@@ -152,28 +199,43 @@ class AcceleratorSim:
         raise SimulationError(f"unknown op kind {op.kind}")
 
     # ------------------------------------------------------------------
-    def op_cycles(self, cost: OpCost, n: int) -> tuple[float, float]:
-        """``(compute_cycles, memory_cycles)`` for one op instance."""
+    def op_cycle_components(self, cost: OpCost, n: int) -> dict[str, float]:
+        """Per-kernel occupancies for one op instance, keyed by
+        :data:`KERNELS`.
+
+        Functional units run concurrently, so an op's compute time is
+        the *max* of the FU entries; ``"hbm"`` is the overlapping memory
+        service time.  The bottleneck kernel — the argmax, ties broken
+        in :data:`KERNELS` order — is where the op's cycles are charged
+        in :attr:`SimResult.kernel_cycles`.
+        """
         cfg = self.config
         pass_cycles = n / cfg.lanes
-        mul = cost.mul_passes * pass_cycles / cfg.mul_fus
-        add = cost.add_passes * pass_cycles / cfg.add_fus
-        auto = cost.auto_passes * pass_cycles / cfg.auto_fus
-        # The NTT FUs are fully pipelined four-step designs that sustain
-        # one residue element per lane per cycle (CraterLake Sec. 4.1).
-        ntt = cost.ntt_passes * pass_cycles / cfg.ntt_fus
-        crb = (
-            sum(
-                dst * pass_cycles * math.ceil(max(src, 1) / cfg.crb_macs_per_lane)
-                for src, dst in cost.crb_jobs
-            )
-            / cfg.crb_fus
-        )
-        # KSHGen expands hints at twice line rate (PRNG pipeline).
-        ksh = cost.kshgen_passes * pass_cycles / 2.0
-        compute = max(mul, add, auto, ntt, crb, ksh)
-        memory = self._op_hbm_bytes(cost, n) / cfg.bytes_per_cycle
-        return compute, memory
+        return {
+            # The NTT FUs are fully pipelined four-step designs that
+            # sustain one residue element per lane per cycle
+            # (CraterLake Sec. 4.1).
+            "ntt": cost.ntt_passes * pass_cycles / cfg.ntt_fus,
+            "crb": (
+                sum(
+                    dst * pass_cycles * math.ceil(max(src, 1) / cfg.crb_macs_per_lane)
+                    for src, dst in cost.crb_jobs
+                )
+                / cfg.crb_fus
+            ),
+            "mul": cost.mul_passes * pass_cycles / cfg.mul_fus,
+            "add": cost.add_passes * pass_cycles / cfg.add_fus,
+            "auto": cost.auto_passes * pass_cycles / cfg.auto_fus,
+            # KSHGen expands hints at twice line rate (PRNG pipeline).
+            "kshgen": cost.kshgen_passes * pass_cycles / 2.0,
+            "hbm": self._op_hbm_bytes(cost, n) / cfg.bytes_per_cycle,
+        }
+
+    def op_cycles(self, cost: OpCost, n: int) -> tuple[float, float]:
+        """``(compute_cycles, memory_cycles)`` for one op instance."""
+        components = self.op_cycle_components(cost, n)
+        memory = components.pop("hbm")
+        return max(components.values()), memory
 
     def _op_hbm_bytes(self, cost: OpCost, n: int) -> float:
         row_bytes = self.config.row_bytes(n)
@@ -203,8 +265,14 @@ class AcceleratorSim:
         n = trace.n
         for op in trace.ops:
             cost = self.op_cost(op, chain)
-            compute, memory = self.op_cycles(cost, n)
+            components = self.op_cycle_components(cost, n)
+            memory = components["hbm"]
+            compute = max(v for k, v in components.items() if k != "hbm")
             cycles = max(compute, memory) * op.count
+            bottleneck = max(KERNELS, key=components.__getitem__)
+            result.kernel_cycles[bottleneck] = (
+                result.kernel_cycles.get(bottleneck, 0.0) + cycles
+            )
             hbm_bytes = self._op_hbm_bytes(cost, n) * op.count
             extra_hbm = hbm_bytes - cost.hbm_rows * self.config.row_bytes(n) * op.count
             breakdown = self.energy_model.op_energy_breakdown(

@@ -135,7 +135,12 @@ def passes_for(rules: Sequence[str] | None) -> tuple[LintPass, ...]:
 def _ensure_builtin_passes() -> None:
     # Importing the pass modules populates the registry; done lazily so
     # importing repro.analysis.sanitize alone stays featherweight.
-    from repro.analysis import dtypes, exception_hygiene, overflow  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        dtypes,
+        exception_hygiene,
+        overflow,
+        timing,
+    )
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:

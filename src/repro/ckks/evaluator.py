@@ -15,6 +15,7 @@ from repro.ckks.ciphertext import Ciphertext
 from repro.ckks.encoder import CkksEncoder
 from repro.ckks.keys import KeyChest, KeySwitchKey
 from repro.errors import ParameterError, ScaleMismatchError
+from repro.obs import core as _obs
 from repro.rns.convert import base_convert, scale_down
 from repro.rns.poly import NTT, RnsPolynomial
 
@@ -137,6 +138,9 @@ class Evaluator:
             raise ScaleMismatchError(
                 f"cannot multiply ciphertexts at levels {a.level} and {b.level}"
             )
+        if _obs.ACTIVE:
+            _obs.count("op.multiply")
+            _obs.count("op.multiply.elems", a.basis.size * a.basis.n)
         a0, a1 = a.c0.to_ntt(), a.c1.to_ntt()
         b0, b1 = b.c0.to_ntt(), b.c1.to_ntt()
         d0 = a0.pointwise_mul(b0)
@@ -149,6 +153,9 @@ class Evaluator:
 
     def square(self, ct: Ciphertext) -> Ciphertext:
         """Homomorphic squaring (slightly cheaper than a general multiply)."""
+        if _obs.ACTIVE:
+            _obs.count("op.square")
+            _obs.count("op.square.elems", ct.basis.size * ct.basis.n)
         c0n, c1n = ct.c0.to_ntt(), ct.c1.to_ntt()
         d0 = c0n.pointwise_mul(c0n)
         cross = c0n.pointwise_mul(c1n)
@@ -179,6 +186,9 @@ class Evaluator:
         return self._apply_galois(ct, 2 * self.chain.n - 1)
 
     def _apply_galois(self, ct: Ciphertext, g: int) -> Ciphertext:
+        if _obs.ACTIVE:
+            _obs.count("op.rotate")
+            _obs.count("op.rotate.elems", ct.basis.size * ct.basis.n)
         c0 = ct.c0.to_coeff().galois(g)
         c1 = ct.c1.to_coeff().galois(g)
         k0, k1 = self._keyswitch(c1, self.chest.galois_key(ct.level, g))
@@ -191,10 +201,16 @@ class Evaluator:
     # ------------------------------------------------------------------
     def rescale(self, ct: Ciphertext) -> Ciphertext:
         """Move down one level, dividing the scale (paper Sec. 2.2)."""
+        if _obs.ACTIVE:
+            _obs.count("op.rescale")
+            _obs.count("op.rescale.elems", ct.basis.size * ct.basis.n)
         return self.chain.rescale(ct)
 
     def adjust(self, ct: Ciphertext, dst_level: int) -> Ciphertext:
         """Bring ``ct`` to ``dst_level`` with that level's canonical scale."""
+        if _obs.ACTIVE:
+            _obs.count("op.adjust")
+            _obs.count("op.adjust.elems", ct.basis.size * ct.basis.n)
         return self.chain.adjust(ct, dst_level)
 
     def multiply_rescale(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
@@ -216,6 +232,9 @@ class Evaluator:
         with the key rows in NTT space, and the sum is scaled down by
         ``P`` (paper Sec. 4.3 maps these to the CRB FU).
         """
+        if _obs.ACTIVE:
+            _obs.count("op.keyswitch")
+            _obs.count("op.keyswitch.elems", d.basis.size * d.basis.n)
         full_moduli = d.basis.moduli + ksk.special_moduli
         acc0 = acc1 = None
         for group, (b_row, a_row) in zip(ksk.digit_groups, ksk.rows):

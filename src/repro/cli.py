@@ -8,6 +8,11 @@ Usage (``python -m repro ...``)::
     python -m repro figure fig11 fig15 --jobs 4
     python -m repro figure fig14 --cache-dir /tmp/bp-cache --force
     python -m repro figure fig14 fig18 --jobs 4 --timeout 90 --keep-going
+    python -m repro figure fig14 --profile
+    python -m repro profile fig14
+    python -m repro obs-report results/fig14_word_size_sweep.profile.json
+    python -m repro obs-report old.profile.json new.profile.json
+    python -m repro obs-report --chrome-out trace.json fig14.profile.json
     python -m repro list-figures
     python -m repro lint --traces
 
@@ -15,13 +20,19 @@ Usage (``python -m repro ...``)::
 hung tasks are retried (``--retries``/``--timeout``), recoveries are
 summarized per figure, Ctrl-C exits 130 with completed figures flushed
 to ``results/``, and a re-run resumes from the disk cache (DESIGN.md
-Sec. 9).
+Sec. 9).  With ``--profile`` (or the ``profile`` alias) each figure also
+writes ``results/<stem>.profile.json`` — span tree, counters, and the
+per-kernel cycle/energy attribution — and prints a rendered summary;
+``obs-report`` renders, diffs, or converts those documents (DESIGN.md
+Sec. 10).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import tempfile
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -47,6 +58,50 @@ FIGURES: dict[str, tuple[str, str, str]] = {
     "sec62": ("repro.eval.sharp", "sec62_sharp_comparison", "seconds"),
     "sec63": ("repro.eval.area_reduction", "sec63_area_reduction", "seconds"),
 }
+
+
+def _add_figure_options(parser: argparse.ArgumentParser) -> None:
+    """The options ``figure`` and ``profile`` share."""
+    parser.add_argument(
+        "names", nargs="+", metavar="NAME",
+        help="figures/tables to regenerate (see `repro list-figures`)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per harness grid (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="result cache location (default: ~/.cache/bitpacker-repro "
+             "or $BITPACKER_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="recompute every point, overwriting cached records",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache entirely",
+    )
+    parser.add_argument(
+        "--results-dir", default="results", metavar="DIR",
+        help="where to write <figure>.txt outputs (default: results/)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task deadline in parallel runs; a task past it is "
+             "abandoned and retried (default: none)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts per crashed/hung grid task (default: 2; "
+             "deterministic model errors are never retried)",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="after one figure fails, still run the remaining ones "
+             "(exit non-zero at the end)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -75,42 +130,31 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--word", type=int, default=28)
 
     figure = sub.add_parser("figure", help="regenerate paper figures/tables")
-    figure.add_argument("names", nargs="+", choices=sorted(FIGURES))
+    _add_figure_options(figure)
     figure.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="worker processes per harness grid (default: 1, serial)",
+        "--profile", action="store_true",
+        help="record a profile per figure (span tree, counters, kernel "
+             "accounting) to results/<figure>.profile.json",
     )
-    figure.add_argument(
-        "--cache-dir", default=None, metavar="PATH",
-        help="result cache location (default: ~/.cache/bitpacker-repro "
-             "or $BITPACKER_CACHE_DIR)",
+
+    profile = sub.add_parser(
+        "profile",
+        help="regenerate figures with profiling on (figure --profile)",
     )
-    figure.add_argument(
-        "--force", action="store_true",
-        help="recompute every point, overwriting cached records",
+    _add_figure_options(profile)
+
+    report = sub.add_parser(
+        "obs-report",
+        help="render, diff, or convert profile documents",
     )
-    figure.add_argument(
-        "--no-cache", action="store_true",
-        help="disable the on-disk result cache entirely",
+    report.add_argument(
+        "profiles", nargs="+", metavar="PROFILE",
+        help="one profile file (summary) or two (old-vs-new diff)",
     )
-    figure.add_argument(
-        "--results-dir", default="results", metavar="DIR",
-        help="where to write <figure>.txt outputs (default: results/)",
-    )
-    figure.add_argument(
-        "--timeout", type=float, default=None, metavar="SECONDS",
-        help="per-task deadline in parallel runs; a task past it is "
-             "abandoned and retried (default: none)",
-    )
-    figure.add_argument(
-        "--retries", type=int, default=None, metavar="N",
-        help="extra attempts per crashed/hung grid task (default: 2; "
-             "deterministic model errors are never retried)",
-    )
-    figure.add_argument(
-        "--keep-going", action="store_true",
-        help="after one figure fails, still run the remaining ones "
-             "(exit non-zero at the end)",
+    report.add_argument(
+        "--chrome-out", default=None, metavar="PATH",
+        help="convert one profile's span tree to Chrome trace_event "
+             "JSON (load in chrome://tracing or Perfetto)",
     )
 
     sub.add_parser("list-figures", help="list available experiments")
@@ -184,22 +228,112 @@ def _print_recovery_events(name: str, runner) -> None:
     print(f"[{name}] recovery events: {summary}", file=sys.stderr)
 
 
+def _write_text_atomic(path: Path, text: str) -> None:
+    """Publish a ``results/`` file atomically (temp + ``os.replace``).
+
+    A crash or Ctrl-C mid-write must never leave a torn or partial
+    output: readers see the previous content or the new one, nothing in
+    between.  The temp file is removed on any failure, including the
+    injected result-site faults the regression tests fire in the window
+    between write and rename.
+    """
+    from repro.eval import faults
+
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.stem, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        if faults.ACTIVE:
+            faults.fire_result()
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:  # fhelint: ok[exception-swallow] best-effort tmp cleanup
+            pass
+        raise
+
+
+def _cache_snapshot(cache) -> tuple[dict, dict, int]:
+    return dict(cache.hits), dict(cache.misses), cache.corrupt_count
+
+
+def _cache_delta(before: tuple[dict, dict, int], cache) -> dict:
+    """Per-figure cache activity: counter growth since the snapshot."""
+    hits0, misses0, corrupt0 = before
+    return {
+        "hits": {
+            kind: n - hits0.get(kind, 0)
+            for kind, n in cache.hits.items()
+            if n - hits0.get(kind, 0)
+        },
+        "misses": {
+            kind: n - misses0.get(kind, 0)
+            for kind, n in cache.misses.items()
+            if n - misses0.get(kind, 0)
+        },
+        "corrupt": cache.corrupt_count - corrupt0,
+    }
+
+
+def _write_figure_profile(
+    name: str, stem: str, results_dir: Path, cache_before
+) -> tuple[Path, dict] | None:
+    """Assemble and atomically publish one figure's profile document."""
+    from repro import obs
+    from repro.eval import common, runner
+
+    roots = obs.take_roots()
+    if not roots:
+        return None
+    doc = obs.build_profile(
+        name,
+        roots[-1],
+        obs.epoch(),
+        obs.counters(),
+        obs.histograms(),
+        cache=_cache_delta(cache_before, runner.active_cache()),
+        memory_caches=common.memory_cache_stats(),
+    )
+    path = obs.write_profile(results_dir / f"{stem}.profile.json", doc)
+    return path, doc
+
+
 def _cmd_figure(args) -> int:
     import importlib
     import inspect
     import time
     import traceback
 
-    from repro.errors import ParameterError
-    from repro.eval import runner
+    from repro.eval import common, runner
 
+    unknown = [name for name in args.names if name not in FIGURES]
+    if unknown:
+        print(
+            f"error: unknown figure(s): {', '.join(unknown)} "
+            f"(choose from: {', '.join(sorted(FIGURES))})",
+            file=sys.stderr,
+        )
+        return 2
     if args.jobs < 1:
-        raise ParameterError(f"--jobs must be >= 1, got {args.jobs}")
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    profiling = getattr(args, "profile", False)
+    if profiling:
+        from repro import obs
+
+        obs.enable()
     runner.configure(
         cache_dir=args.cache_dir,
         enabled=False if args.no_cache else None,
         force=args.force,
     )
+    if args.force:
+        # One process must not keep serving pre-force artifacts it still
+        # holds in memory: --force invalidates both cache layers.
+        common.clear_memory_caches()
     runner.configure_policy(timeout=args.timeout, retries=args.retries)
     runner.take_events()  # drop anything stale from earlier in-process runs
     results_dir = Path(args.results_dir)
@@ -210,12 +344,32 @@ def _cmd_figure(args) -> int:
         module_path, stem, note = FIGURES[name]
         print(f"[{name}] running ({note})", file=sys.stderr)
         started = time.monotonic()
+        if profiling:
+            # Fresh recorder per figure; dropping the memory caches makes
+            # every unique point pass through common.simulate's body so
+            # the kernel-accounting counters see it (disk hits stay
+            # cheap — one JSON read, no recompute).
+            obs.reset()
+            common.clear_memory_caches()
+            cache_before = _cache_snapshot(runner.active_cache())
         try:
             module = importlib.import_module(module_path)
             kwargs = {}
             if "jobs" in inspect.signature(module.run).parameters:
                 kwargs["jobs"] = args.jobs
-            text = module.render(module.run(**kwargs))
+            if profiling:
+                with obs.span(f"figure/{name}"):
+                    data = module.run(**kwargs)
+            else:
+                data = module.run(**kwargs)
+            text = module.render(data)
+            out_path = results_dir / f"{stem}.txt"
+            _write_text_atomic(out_path, text + "\n")
+            profile = (
+                _write_figure_profile(name, stem, results_dir, cache_before)
+                if profiling
+                else None
+            )
         except KeyboardInterrupt:
             # map_grid has already cancelled pending futures and killed
             # its workers; everything computed so far is in the disk
@@ -235,13 +389,23 @@ def _cmd_figure(args) -> int:
             if args.keep_going:
                 continue
             break
-        out_path = results_dir / f"{stem}.txt"
-        out_path.write_text(text + "\n")
         elapsed = time.monotonic() - started
         _print_recovery_events(name, runner)
         print(f"[{name}] done in {elapsed:.1f}s -> {out_path}", file=sys.stderr)
         print(text)
         print()
+        if profile is not None:
+            from repro import obs
+
+            profile_path, doc = profile
+            print(f"[{name}] profile -> {profile_path}", file=sys.stderr)
+            print(obs.render_summary(doc))
+            print()
+    if profiling:
+        # Leave the process the way we found it: a later in-process run
+        # (tests call main() repeatedly) must not keep recording.
+        obs.disable()
+        obs.reset()
     cache = runner.active_cache()
     corrupt = (
         f", {cache.corrupt_count} quarantined" if cache.corrupt_count else ""
@@ -262,6 +426,50 @@ def _cmd_figure(args) -> int:
         print(f"[figure] failed: {', '.join(failed)}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_profile(args) -> int:
+    """``repro profile <figure>`` — ``figure --profile`` spelled out."""
+    args.profile = True
+    return _cmd_figure(args)
+
+
+def _cmd_obs_report(args) -> int:
+    import json
+
+    from repro import obs
+    from repro.errors import ParameterError
+
+    try:
+        if args.chrome_out:
+            if len(args.profiles) != 1:
+                print(
+                    "error: --chrome-out takes exactly one profile file",
+                    file=sys.stderr,
+                )
+                return 2
+            doc = obs.load_profile(args.profiles[0])
+            events = obs.chrome_trace(doc["span_tree"])
+            out = Path(args.chrome_out)
+            _write_text_atomic(out, json.dumps(events, indent=1) + "\n")
+            print(f"wrote {len(events)} trace events -> {out}")
+            return 0
+        if len(args.profiles) == 1:
+            print(obs.render_summary(obs.load_profile(args.profiles[0])))
+            return 0
+        if len(args.profiles) == 2:
+            old = obs.load_profile(args.profiles[0])
+            new = obs.load_profile(args.profiles[1])
+            print(obs.diff_profiles(old, new))
+            return 0
+    except ParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        "error: obs-report takes one profile file (summary) or two (diff)",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def _cmd_list_figures(_args) -> int:
@@ -300,6 +508,8 @@ _COMMANDS: dict[str, Callable] = {
     "plan": _cmd_plan,
     "compare": _cmd_compare,
     "figure": _cmd_figure,
+    "profile": _cmd_profile,
+    "obs-report": _cmd_obs_report,
     "list-figures": _cmd_list_figures,
     "lint": _cmd_lint,
 }

@@ -29,6 +29,7 @@ from repro.accel.sim import AcceleratorSim, SimResult
 from repro.cpu.model import DEFAULT_CPU_MODEL, CpuResult
 from repro.errors import ParameterError
 from repro.eval import runner
+from repro.obs import core as _obs
 from repro.schemes import (
     chain_from_dict,
     chain_to_dict,
@@ -62,7 +63,20 @@ def gmean(values: Iterable[float]) -> float:
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
-@lru_cache(maxsize=None)
+#: Memory-cache bounds.  The figure grids reuse a small working set (10
+#: workloads x 2 schemes x a handful of machine/word variants), so these
+#: comfortably hold a full multi-figure run while bounding a long-lived
+#: process: an unbounded ``lru_cache`` on 65536-coefficient traces grows
+#: without limit across sweeps.  Sized by payload weight — chains are
+#: tiny (many machine variants share one), traces/results are the heavy
+#: artifacts.
+TRACE_CACHE_SIZE = 256
+CHAIN_CACHE_SIZE = 512
+SIM_CACHE_SIZE = 1024
+CPU_CACHE_SIZE = 256
+
+
+@lru_cache(maxsize=TRACE_CACHE_SIZE)
 def trace_for(
     app: str,
     bs: str,
@@ -88,7 +102,7 @@ def trace_for(
     )
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=CHAIN_CACHE_SIZE)
 def chain_for(
     app: str,
     bs: str,
@@ -138,7 +152,7 @@ def _plan_chain(
     )
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=SIM_CACHE_SIZE)
 def simulate(
     app: str,
     bs: str,
@@ -156,7 +170,7 @@ def simulate(
         "register_file_mb": register_file_mb, "crb_shrink": crb_shrink,
         "ks_digits": ks_digits, "n": n, "max_log_q": max_log_q,
     }
-    return runner.cached(
+    result = runner.cached(
         "simulate", params,
         compute=lambda: _simulate(
             app, bs, scheme, word_bits, register_file_mb, crb_shrink,
@@ -165,6 +179,30 @@ def simulate(
         encode=SimResult.to_dict,
         decode=SimResult.from_dict,
     )
+    # Recorded outside runner.cached so disk hits contribute to the
+    # kernel-accounting table too; the lru_cache above means one record
+    # per unique point (the profiling CLI clears memory caches per
+    # figure so repeat figures account their own points).
+    if _obs.ACTIVE:
+        _record_sim(result)
+    return result
+
+
+def _record_sim(result: SimResult) -> None:
+    """Fold one simulation outcome into the profile's kernel accounting.
+
+    The per-kernel counters regroup the same additions ``SimResult``
+    makes, so ``sum(accel.kernel.cycles.*) == accel.cycles`` to float
+    reordering error — the invariant the profile exporter cross-checks
+    against Figs. 10/12.
+    """
+    _obs.count("accel.sims")
+    _obs.count("accel.cycles", result.cycles)
+    _obs.count("accel.energy_j", result.energy_j)
+    for kernel, cycles in result.kernel_cycles.items():
+        _obs.count(f"accel.kernel.cycles.{kernel}", cycles)
+    for component, joules in result.energy_by_component.items():
+        _obs.count(f"accel.kernel.energy_j.{component}", joules)
 
 
 def _simulate(
@@ -182,7 +220,7 @@ def _simulate(
     return sim.run(trace, chain)
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=CPU_CACHE_SIZE)
 def simulate_cpu(
     app: str,
     bs: str,
@@ -206,16 +244,41 @@ def simulate_cpu(
     )
 
 
+#: The in-process cache layer, by artifact kind (the profile exporter's
+#: ``memory_caches`` section iterates this).
+_MEMORY_CACHES = {
+    "trace": trace_for,
+    "chain": chain_for,
+    "simulate": simulate,
+    "simulate-cpu": simulate_cpu,
+}
+
+
 def clear_memory_caches() -> None:
     """Drop the in-process layer only; disk records stay valid.
 
-    Used by tests to model a fresh CLI invocation: the next call of each
-    artifact function must go through the runner's disk store again.
+    Models a fresh CLI invocation: the next call of each artifact
+    function must go through the runner's disk store again.  The CLI
+    calls this on ``--force`` (so one process cannot keep serving the
+    pre-force artifacts it already holds in memory) and per figure when
+    profiling.
     """
-    trace_for.cache_clear()
-    chain_for.cache_clear()
-    simulate.cache_clear()
-    simulate_cpu.cache_clear()
+    for func in _MEMORY_CACHES.values():
+        func.cache_clear()
+
+
+def memory_cache_stats() -> dict[str, dict[str, int]]:
+    """``lru_cache`` statistics per artifact kind (profile export)."""
+    stats = {}
+    for kind, func in _MEMORY_CACHES.items():
+        info = func.cache_info()
+        stats[kind] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "maxsize": info.maxsize,
+            "currsize": info.currsize,
+        }
+    return stats
 
 
 @dataclass(frozen=True)

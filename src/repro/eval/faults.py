@@ -19,15 +19,19 @@ Spec grammar (full description in DESIGN.md Sec. 9)::
 
     spec    := clause (';' clause)*
     clause  := site ':' mode target? | 'seed=' int | 'hang=' float
-    site    := 'task' | 'store'
+    site    := 'task' | 'store' | 'result'
     mode    := 'raise' | 'hang' | 'kill' | 'interrupt'   (task site)
              | 'corrupt' | 'truncate'                    (store site)
+             | 'raise' | 'interrupt'                     (result site)
     target  := '@' index[*] (',' index[*])*   fixed schedule
              | '%' float                      seeded per-index probability
 
 ``task`` indices are grid positions in :func:`repro.eval.runner.map_grid`
 (0-based); ``store`` indices count :meth:`RunnerCache.store` calls since
-the plan was installed (0-based, per process).  A scheduled fault fires
+the plan was installed (0-based, per process); ``result`` indices count
+``results/`` file publishes in :mod:`repro.cli` (the fault fires between
+the temp-file write and the atomic rename, the window a Ctrl-C or crash
+must not leave a torn output in).  A scheduled fault fires
 on the task's *first* attempt only — retries run clean, which is what
 makes every injected fault recoverable — unless the index carries a
 ``*`` suffix (``task:raise@1*`` fails attempt after attempt, for
@@ -56,6 +60,7 @@ ENV_FAULTS = "BITPACKER_FAULTS"
 
 TASK_SITE = "task"
 STORE_SITE = "store"
+RESULT_SITE = "result"
 
 #: Worker-exit status for an injected kill (distinctive in core dumps).
 KILL_EXIT_CODE = 86
@@ -63,6 +68,7 @@ KILL_EXIT_CODE = 86
 _MODES_BY_SITE = {
     TASK_SITE: frozenset({"raise", "hang", "kill", "interrupt"}),
     STORE_SITE: frozenset({"corrupt", "truncate"}),
+    RESULT_SITE: frozenset({"raise", "interrupt"}),
 }
 
 #: ``True`` iff a fault plan is installed; hot paths check only this.
@@ -117,6 +123,7 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         self._store_index = 0
+        self._result_index = 0
 
     def decide(self, site: str, index: int, attempt: int) -> str | None:
         """The fault mode to inject at this point, or ``None``."""
@@ -128,6 +135,11 @@ class FaultPlan:
     def next_store_index(self) -> int:
         index = self._store_index
         self._store_index = index + 1
+        return index
+
+    def next_result_index(self) -> int:
+        index = self._result_index
+        self._result_index = index + 1
         return index
 
 
@@ -290,6 +302,27 @@ def fire_task(index: int, attempt: int) -> None:
     raise FaultInjected(
         f"injected {mode} at task {index} attempt {attempt}"
     )
+
+
+def fire_result() -> None:
+    """Inject the scheduled result-site fault, if any.
+
+    Called by the CLI's atomic ``results/`` writer between writing the
+    temp file and renaming it into place — the window a crash must not
+    leave a torn or half-published output in.  ``interrupt`` models
+    Ctrl-C (the CLI must exit 130 with no output file and no temp
+    litter); ``raise`` models an arbitrary I/O-adjacent crash.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    index = plan.next_result_index()
+    mode = plan.decide(RESULT_SITE, index, 1)
+    if mode is None:
+        return
+    if mode == "interrupt":
+        raise KeyboardInterrupt(f"injected interrupt at result {index}")
+    raise FaultInjected(f"injected {mode} at result {index}")
 
 
 def mangle_record(text: str) -> str:

@@ -60,10 +60,14 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import ParameterError, ReproError, RunnerError
 from repro.eval import faults
+from repro.obs import core as _obs
 
 #: Bump to invalidate every existing cache record (layout changes).
 #: v2: records carry an explicit ``schema`` field (fault-tolerance PR).
-CACHE_SCHEMA_VERSION = 2
+#: v3: ``SimResult`` payloads carry the ``kernel_cycles`` attribution
+#: table (observability PR); older records would deserialize with an
+#: empty table and break profile accounting.
+CACHE_SCHEMA_VERSION = 3
 
 ENV_CACHE_DIR = "BITPACKER_CACHE_DIR"
 ENV_CACHE_ENABLED = "BITPACKER_CACHE"
@@ -175,6 +179,9 @@ class RunnerCache:
     # ------------------------------------------------------------------
     def _count(self, table: dict[str, int], kind: str) -> None:
         table[kind] = table.get(kind, 0) + 1
+        if _obs.ACTIVE:
+            label = "hit" if table is self.hits else "miss"
+            _obs.count(f"cache.{label}.{kind}")
 
     def hit_count(self, kind: str | None = None) -> int:
         if kind is not None:
@@ -256,6 +263,8 @@ class RunnerCache:
     def _quarantine(self, kind: str, path: Path) -> None:
         """Move a bad record to ``corrupt/`` (fall back to unlinking)."""
         self.corrupt_count += 1
+        if _obs.ACTIVE:
+            _obs.count("cache.corrupt")
         try:
             target = self.quarantine_dir()
             target.mkdir(parents=True, exist_ok=True)
@@ -491,10 +500,25 @@ def map_grid(
         policy = dataclasses.replace(policy, **overrides)
 
     run = _GridRun(func, grid, policy, on_exhausted, events)
-    if jobs == 1 or len(grid) <= 1:
-        run.run_serial(range(len(grid)))
+    serial = jobs == 1 or len(grid) <= 1
+    if not _obs.ACTIVE:
+        if serial:
+            run.run_serial(range(len(grid)))
+        else:
+            run.run_parallel(jobs)
         return run.results
-    return run.run_parallel(jobs)
+    # One span per map_grid call; task spans are synthesized parent-side
+    # in grid-position order, so the tree shape is identical for serial
+    # and parallel runs (the parity contract tested in test_obs.py).
+    with _obs.span("map_grid", tasks=len(grid)):
+        try:
+            if serial:
+                run.run_serial(range(len(grid)))
+            else:
+                run.run_parallel(jobs)
+        finally:
+            run.attach_task_spans()
+    return run.results
 
 
 class _GridRun:
@@ -520,6 +544,10 @@ class _GridRun:
         #: reruns after a pool breakage do not count).
         self.failures = [0] * len(grid)
         self.outstanding = len(grid)
+        #: Per-task ``(t0, wall_s)`` in the recorder's timebase, filled
+        #: on success while profiling (parallel tasks complete out of
+        #: order; spans are attached in position order afterwards).
+        self.task_times: list[tuple[float, float] | None] = [None] * len(grid)
 
     # -- events --------------------------------------------------------
     def emit(
@@ -537,6 +565,25 @@ class _GridRun:
         _EVENTS.append(event)
         if self.sink is not None:
             self.sink.append(event)
+        if _obs.ACTIVE:
+            _obs.count(f"runner.events.{kind}")
+
+    def record_success(self, index: int, latency: float) -> None:
+        """Profile bookkeeping for one completed task (parent-side)."""
+        if _obs.ACTIVE:
+            self.task_times[index] = (_obs.now() - latency, latency)
+            _obs.observe("runner.task_seconds", latency)
+
+    def attach_task_spans(self) -> None:
+        """Attach one ``task`` span per completed grid position, in
+        position order — the source of serial/parallel profile parity."""
+        if not _obs.ACTIVE:
+            return
+        for index, timing in enumerate(self.task_times):
+            if timing is None:
+                continue
+            t0, wall = timing
+            _obs.attach_span("task", {"index": index}, t0, wall)
 
     # -- shared failure accounting -------------------------------------
     def record_failure(
@@ -595,6 +642,7 @@ class _GridRun:
                     continue
                 self.results[index] = value
                 self.outstanding -= 1
+                self.record_success(index, time.monotonic() - started)
                 break
 
     # -- parallel execution --------------------------------------------
@@ -699,6 +747,7 @@ class _GridRun:
                     else:
                         self.results[index] = value
                         self.outstanding -= 1
+                        self.record_success(index, latency)
                 if broken:
                     pool_failures += 1
                     self.emit(

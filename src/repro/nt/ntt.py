@@ -34,6 +34,7 @@ from repro.analysis import sanitize as _sanitize
 from repro.errors import ParameterError
 from repro.nt import modmath
 from repro.nt.primes import is_ntt_friendly
+from repro.obs import core as _obs
 
 #: Running count of vectorized stage-kernel invocations.  Each entry is
 #: bumped exactly once per butterfly *stage* (never per block); the guard
@@ -141,6 +142,9 @@ class NttContext:
         views the vector as ``(m, 2, t)`` and updates all blocks in a
         handful of numpy calls.
         """
+        if _obs.ACTIVE:
+            _obs.count("kernel.ntt.forward")
+            _obs.count("kernel.ntt.forward.elems", coeffs.size)
         q = self.q
         a = coeffs.copy()  # .copy() yields a fresh C-contiguous buffer
         t = self.n
@@ -163,6 +167,9 @@ class NttContext:
 
         Gentleman–Sande DIF with the mirrored ``(h, 2, t)`` view.
         """
+        if _obs.ACTIVE:
+            _obs.count("kernel.ntt.inverse")
+            _obs.count("kernel.ntt.inverse.elems", values.size)
         q = self.q
         a = values.copy()
         t = 1
@@ -313,6 +320,9 @@ def forward_rows(mat: np.ndarray, moduli: Sequence[int]) -> np.ndarray:
     """Forward NTT of every row of a ``(k, n)`` residue matrix at once."""
     if _sanitize.ACTIVE:
         _sanitize.check_residue_matrix(mat, moduli, "forward_rows")
+    if _obs.ACTIVE:
+        _obs.count("kernel.ntt.forward")
+        _obs.count("kernel.ntt.forward.elems", mat.size)
     return ntt_rows_context(tuple(int(q) for q in moduli), mat.shape[-1]).forward(mat)
 
 
@@ -320,4 +330,7 @@ def inverse_rows(mat: np.ndarray, moduli: Sequence[int]) -> np.ndarray:
     """Inverse NTT of every row of a ``(k, n)`` residue matrix at once."""
     if _sanitize.ACTIVE:
         _sanitize.check_residue_matrix(mat, moduli, "inverse_rows")
+    if _obs.ACTIVE:
+        _obs.count("kernel.ntt.inverse")
+        _obs.count("kernel.ntt.inverse.elems", mat.size)
     return ntt_rows_context(tuple(int(q) for q in moduli), mat.shape[-1]).inverse(mat)

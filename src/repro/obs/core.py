@@ -1,0 +1,244 @@
+"""Observability core: the master switch, spans, counters, histograms.
+
+This module is the third zero-cost-when-off subsystem of the repo, next
+to the runtime sanitizer (DESIGN.md Sec. 7) and the fault injector
+(Sec. 9), and follows the same activation pattern: hook sites in hot
+code guard with ``if core.ACTIVE:`` — one module-attribute read and a
+branch when profiling is off, no allocation, no function call.  The
+recorder itself is deliberately simple (plain dicts, a single span
+stack) because everything it measures is process-local: parallel
+``map_grid`` workers do not record here, the runner synthesizes their
+task spans parent-side from measured latencies (DESIGN.md Sec. 10).
+
+Three primitives:
+
+- :func:`span` — hierarchical wall/CPU/peak-RSS timing regions
+  (``with obs.span("fig14/point", app="lola"): ...``).  Spans nest via
+  a stack; finished top-level spans are drained with
+  :func:`take_roots`.
+- :func:`count` — monotonically increasing named counters (float-valued
+  so kernel cycle/energy attributions can ride them too).
+- :func:`observe` — scalar distributions summarized as
+  count/sum/min/max (latency histograms for the runner).
+
+Nothing here imports numpy or the RNS/CKKS stack, so the hook sites in
+:mod:`repro.nt.ntt` and :mod:`repro.rns.convert` add no import weight.
+"""
+
+from __future__ import annotations
+
+import time
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None
+
+#: The master switch.  Hook sites read this attribute directly
+#: (``if core.ACTIVE: ...``) so the disabled path is a single branch.
+ACTIVE = False
+
+
+def enable() -> None:
+    """Turn the recorder on for this process (spans/counters start)."""
+    global ACTIVE
+    ACTIVE = True
+
+
+def disable() -> None:
+    """Turn the recorder off (hook sites go back to a dead branch)."""
+    global ACTIVE
+    ACTIVE = False
+
+
+def enabled() -> bool:
+    return ACTIVE
+
+
+def now() -> float:
+    """The recorder's clock (monotonic, high resolution)."""
+    return time.perf_counter()
+
+
+def _peak_rss_kb() -> int:
+    """Process peak RSS in KiB (0 where ``resource`` is unavailable)."""
+    if resource is None:  # pragma: no cover
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+class Span:
+    """One finished (or open) timing region.
+
+    ``t0`` is an absolute :func:`now` timestamp; exporters rebase it
+    against the profile epoch.  ``rss_peak_delta_kb`` is the growth of
+    the process's RSS high-water mark across the span — zero unless the
+    span pushed a new peak, which is exactly the allocation signal a
+    sweep profile needs.
+    """
+
+    __slots__ = (
+        "name", "tags", "t0", "wall_s", "cpu_s", "rss_peak_delta_kb",
+        "children", "_cpu0", "_rss0",
+    )
+
+    def __init__(self, name: str, tags: dict):
+        self.name = name
+        self.tags = tags
+        self.t0 = 0.0
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.rss_peak_delta_kb = 0
+        self.children: list[Span] = []
+        self._cpu0 = 0.0
+        self._rss0 = 0
+
+    # -- context-manager protocol --------------------------------------
+    def __enter__(self) -> "Span":
+        self.t0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        self._rss0 = _peak_rss_kb()
+        _STACK.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall_s = time.perf_counter() - self.t0
+        self.cpu_s = time.process_time() - self._cpu0
+        self.rss_peak_delta_kb = max(0, _peak_rss_kb() - self._rss0)
+        # Unwind to this span even if an inner span leaked (an exception
+        # path that skipped an __exit__ cannot corrupt the tree shape).
+        while _STACK and _STACK[-1] is not self:
+            _STACK.pop()
+        if _STACK:
+            _STACK.pop()
+        if _STACK:
+            _STACK[-1].children.append(self)
+        else:
+            _ROOTS.append(self)
+        return False
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while profiling is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+_STACK: list[Span] = []
+_ROOTS: list[Span] = []
+#: Epoch for exporters: every span's ``t0`` is reported relative to it.
+_EPOCH = time.perf_counter()
+
+
+def span(name: str, **tags):
+    """A timing region; returns the shared no-op singleton when off."""
+    if not ACTIVE:
+        return NULL_SPAN
+    return Span(name, tags)
+
+
+def attach_span(
+    name: str,
+    tags: dict | None = None,
+    t0: float | None = None,
+    wall_s: float = 0.0,
+    cpu_s: float = 0.0,
+) -> Span | None:
+    """Attach an externally measured, already-finished span.
+
+    This is how :func:`repro.eval.runner.map_grid` records its grid
+    tasks: the parent measures each task's latency (worker processes do
+    not share this recorder) and attaches one child span per grid
+    position, in position order, so serial and parallel runs produce
+    the same tree (DESIGN.md Sec. 10).
+    """
+    if not ACTIVE:
+        return None
+    child = Span(name, dict(tags or {}))
+    child.t0 = now() if t0 is None else t0
+    child.wall_s = wall_s
+    child.cpu_s = cpu_s
+    if _STACK:
+        _STACK[-1].children.append(child)
+    else:
+        _ROOTS.append(child)
+    return child
+
+
+def current_span() -> Span | None:
+    """The innermost open span (``None`` outside any span)."""
+    return _STACK[-1] if _STACK else None
+
+
+def take_roots() -> list[Span]:
+    """Drain the finished top-level spans recorded since the last call."""
+    roots = list(_ROOTS)
+    _ROOTS.clear()
+    return roots
+
+
+def epoch() -> float:
+    return _EPOCH
+
+
+# ----------------------------------------------------------------------
+# Counters and histograms
+# ----------------------------------------------------------------------
+_COUNTERS: dict[str, float] = {}
+_HISTOGRAMS: dict[str, dict[str, float]] = {}
+
+
+def count(name: str, n: float = 1) -> None:
+    """Add ``n`` to counter ``name`` (creating it at zero)."""
+    _COUNTERS[name] = _COUNTERS.get(name, 0) + n
+
+
+def observe(name: str, value: float) -> None:
+    """Record one sample of the scalar distribution ``name``."""
+    hist = _HISTOGRAMS.get(name)
+    if hist is None:
+        _HISTOGRAMS[name] = {
+            "count": 1, "sum": value, "min": value, "max": value,
+        }
+        return
+    hist["count"] += 1
+    hist["sum"] += value
+    if value < hist["min"]:
+        hist["min"] = value
+    if value > hist["max"]:
+        hist["max"] = value
+
+
+def counters() -> dict[str, float]:
+    """Snapshot of every counter (a copy; safe to mutate)."""
+    return dict(_COUNTERS)
+
+
+def histograms() -> dict[str, dict[str, float]]:
+    """Snapshot of every histogram summary (a deep copy)."""
+    return {name: dict(h) for name, h in _HISTOGRAMS.items()}
+
+
+def reset() -> None:
+    """Drop all recorded spans and metrics; restart the profile epoch.
+
+    Does not touch :data:`ACTIVE` — a profiling CLI run resets between
+    figures while staying enabled.
+    """
+    global _EPOCH
+    _STACK.clear()
+    _ROOTS.clear()
+    _COUNTERS.clear()
+    _HISTOGRAMS.clear()
+    _EPOCH = time.perf_counter()

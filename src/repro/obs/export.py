@@ -1,0 +1,395 @@
+"""Profile documents: JSON schema, Chrome traces, summaries, diffs.
+
+The profile JSON schema (``PROFILE_SCHEMA_VERSION``, full field list in
+DESIGN.md Sec. 10)::
+
+    {
+      "schema": 1,
+      "figure": "fig14",
+      "created_unix": 1754556000.0,          # wall-clock stamp
+      "wall_s": 212.4,                       # the root span's duration
+      "coverage": 0.998,                     # child-span wall coverage
+      "span_tree": {
+        "name": "figure/fig14", "tags": {...},
+        "t0_s": 0.0, "wall_s": 212.4, "cpu_s": 210.9,
+        "rss_peak_delta_kb": 5124,
+        "children": [ ...same shape... ]
+      },
+      "counters":   {"cache.hit.simulate": 200, ...},
+      "histograms": {"runner.task_seconds": {count,sum,min,max}},
+      "cache":  {"hits": {...}, "misses": {...}, "corrupt": 0},
+      "memory_caches": {"simulate": {hits,misses,size,maxsize}, ...},
+      "kernel_accounting": {
+        "sims": 200, "total_cycles": ..., "total_energy_j": ...,
+        "kernels": {"ntt": {"cycles": ..., "share": ...}, ...},
+        "energy":  {"crb": {"joules": ..., "share": ...}, ...}
+      }
+    }
+
+Everything in this module is cold-path (runs once per figure), so it is
+free to import json and build intermediate structures; the hot-path
+recording lives in :mod:`repro.obs.core`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ParameterError
+from repro.obs.core import Span
+
+PROFILE_SCHEMA_VERSION = 1
+
+#: Counter-name prefixes the kernel-accounting section is derived from
+#: (written by :func:`repro.eval.common.simulate` while profiling).
+KERNEL_CYCLES_PREFIX = "accel.kernel.cycles."
+KERNEL_ENERGY_PREFIX = "accel.kernel.energy_j."
+
+
+# ----------------------------------------------------------------------
+# Span trees
+# ----------------------------------------------------------------------
+def span_to_dict(span: Span, epoch: float) -> dict:
+    """JSON-ready span tree with ``t0`` rebased to the profile epoch."""
+    return {
+        "name": span.name,
+        "tags": dict(span.tags),
+        "t0_s": max(0.0, span.t0 - epoch),
+        "wall_s": span.wall_s,
+        "cpu_s": span.cpu_s,
+        "rss_peak_delta_kb": span.rss_peak_delta_kb,
+        "children": [span_to_dict(c, epoch) for c in span.children],
+    }
+
+
+def coverage(tree: Mapping[str, Any]) -> float:
+    """Fraction of a span's wall time covered by its direct children.
+
+    Children of a serial run tile the parent, so the sum is the covered
+    time; concurrent children (parallel ``map_grid`` tasks) can oversum,
+    hence the cap at 1.  A leaf (no children) is fully covered by
+    definition — there is nothing finer to attribute.
+    """
+    if not tree["children"]:
+        return 1.0
+    wall = tree["wall_s"]
+    if wall <= 0.0:
+        return 1.0
+    return min(1.0, sum(c["wall_s"] for c in tree["children"]) / wall)
+
+
+def normalized(tree: Mapping[str, Any]) -> dict:
+    """The span tree with every measured quantity zeroed.
+
+    What remains — names, tags, nesting, child order — must be
+    byte-identical between serial and parallel runs of the same grid
+    (the determinism contract ``tests/test_obs.py`` pins).
+    """
+    return {
+        "name": tree["name"],
+        "tags": dict(tree["tags"]),
+        "children": [normalized(c) for c in tree["children"]],
+    }
+
+
+def chrome_trace(tree: Mapping[str, Any], pid: int = 1) -> list[dict]:
+    """Flatten a span tree to Chrome ``trace_event`` objects.
+
+    Complete events (``ph: "X"``) with microsecond timestamps; load the
+    resulting JSON array in ``chrome://tracing`` or Perfetto.  Sibling
+    spans that overlap in time (parallel grid tasks) are fanned out to
+    distinct ``tid`` lanes so the viewer does not nest them.
+    """
+    events: list[dict] = []
+
+    def emit(node: Mapping[str, Any], tid: int) -> None:
+        events.append(
+            {
+                "name": node["name"],
+                "ph": "X",
+                "ts": node["t0_s"] * 1e6,
+                "dur": node["wall_s"] * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": dict(node["tags"]),
+            }
+        )
+        lanes: list[float] = []  # per-lane last end time
+        for child in node["children"]:
+            start, end = child["t0_s"], child["t0_s"] + child["wall_s"]
+            for lane, busy_until in enumerate(lanes):
+                if start >= busy_until - 1e-12:
+                    lanes[lane] = end
+                    emit(child, tid + lane)
+                    break
+            else:
+                lanes.append(end)
+                emit(child, tid + len(lanes) - 1)
+
+    emit(dict(tree), tid=1)
+    return events
+
+
+# ----------------------------------------------------------------------
+# Profile documents
+# ----------------------------------------------------------------------
+def kernel_accounting(counters: Mapping[str, float]) -> dict | None:
+    """Derive the per-kernel attribution tables from the counters.
+
+    Returns ``None`` when no simulation contributed (figure served
+    entirely from the in-process memory cache, or a CPU-model figure).
+    Shares are normalized against the summed totals, so they add to
+    1.0 within float error — the invariant the CI profile job asserts.
+    """
+    sims = counters.get("accel.sims", 0)
+    if not sims:
+        return None
+    total_cycles = counters.get("accel.cycles", 0.0)
+    total_energy = counters.get("accel.energy_j", 0.0)
+    kernels = {
+        name[len(KERNEL_CYCLES_PREFIX):]: value
+        for name, value in counters.items()
+        if name.startswith(KERNEL_CYCLES_PREFIX)
+    }
+    energy = {
+        name[len(KERNEL_ENERGY_PREFIX):]: value
+        for name, value in counters.items()
+        if name.startswith(KERNEL_ENERGY_PREFIX)
+    }
+    return {
+        "sims": int(sims),
+        "total_cycles": total_cycles,
+        "total_energy_j": total_energy,
+        "kernels": {
+            name: {
+                "cycles": cycles,
+                "share": cycles / total_cycles if total_cycles else 0.0,
+            }
+            for name, cycles in sorted(kernels.items())
+        },
+        "energy": {
+            name: {
+                "joules": joules,
+                "share": joules / total_energy if total_energy else 0.0,
+            }
+            for name, joules in sorted(energy.items())
+        },
+    }
+
+
+def build_profile(
+    figure: str,
+    root: Span,
+    epoch: float,
+    counters: Mapping[str, float],
+    histograms: Mapping[str, Mapping[str, float]],
+    cache: Mapping[str, Any] | None = None,
+    memory_caches: Mapping[str, Mapping[str, int]] | None = None,
+) -> dict:
+    """Assemble one figure's profile document (see the module docstring)."""
+    tree = span_to_dict(root, epoch)
+    return {
+        "schema": PROFILE_SCHEMA_VERSION,
+        "figure": figure,
+        "created_unix": time.time(),
+        "wall_s": tree["wall_s"],
+        "coverage": coverage(tree),
+        "span_tree": tree,
+        "counters": dict(sorted(counters.items())),
+        "histograms": {k: dict(v) for k, v in sorted(histograms.items())},
+        "cache": dict(cache) if cache is not None else None,
+        "memory_caches": (
+            {k: dict(v) for k, v in memory_caches.items()}
+            if memory_caches is not None
+            else None
+        ),
+        "kernel_accounting": kernel_accounting(counters),
+    }
+
+
+def write_profile(path: str | Path, doc: Mapping[str, Any]) -> Path:
+    """Atomically publish a profile document (temp + ``os.replace``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.stem, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(doc, handle, indent=1, sort_keys=False)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:  # fhelint: ok[exception-swallow] best-effort tmp cleanup
+            pass
+        raise
+    return path
+
+
+def load_profile(path: str | Path) -> dict:
+    """Read and structurally validate a profile document."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ParameterError(f"cannot read profile {path}: {exc}") from exc
+    if not isinstance(doc, dict) or "span_tree" not in doc:
+        raise ParameterError(f"{path} is not a profile document")
+    if doc.get("schema") != PROFILE_SCHEMA_VERSION:
+        raise ParameterError(
+            f"{path} has profile schema {doc.get('schema')!r}; this build "
+            f"reads schema {PROFILE_SCHEMA_VERSION}"
+        )
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _flatten(tree: Mapping[str, Any], prefix: str = "") -> list[tuple[str, dict]]:
+    """``(path, span)`` rows in depth-first order, grid tasks collapsed."""
+    path = f"{prefix}/{tree['name']}" if prefix else tree["name"]
+    rows = [(path, dict(tree))]
+    children = tree["children"]
+    tasks = [c for c in children if c["name"] == "task"]
+    for child in children:
+        if child["name"] == "task":
+            continue
+        rows.extend(_flatten(child, path))
+    if tasks:
+        rows.append(
+            (
+                f"{path}/task (x{len(tasks)})",
+                {
+                    "wall_s": sum(t["wall_s"] for t in tasks),
+                    "cpu_s": sum(t["cpu_s"] for t in tasks),
+                    "rss_peak_delta_kb": max(
+                        t["rss_peak_delta_kb"] for t in tasks
+                    ),
+                },
+            )
+        )
+    return rows
+
+
+def render_summary(doc: Mapping[str, Any]) -> str:
+    """Human-readable profile summary (span table + kernel table)."""
+    # Imported lazily: obs stays importable without the eval stack.
+    from repro.eval.common import format_table
+
+    rows = []
+    for path, node in _flatten(doc["span_tree"]):
+        rows.append(
+            [
+                path,
+                f"{node['wall_s']:.3f}",
+                f"{node['cpu_s']:.3f}",
+                f"{node['rss_peak_delta_kb'] / 1024.0:.1f}",
+            ]
+        )
+    blocks = [
+        f"profile: {doc['figure']} — wall {doc['wall_s']:.2f}s, "
+        f"span coverage {doc['coverage']:.1%}",
+        format_table(["span", "wall [s]", "cpu [s]", "peak-rss Δ [MB]"], rows),
+    ]
+    accounting = doc.get("kernel_accounting")
+    if accounting:
+        kernel_rows = [
+            [name, f"{entry['cycles']:.3e}", f"{entry['share']:.1%}"]
+            for name, entry in accounting["kernels"].items()
+        ]
+        blocks.append(
+            f"kernel accounting ({accounting['sims']} sims, "
+            f"{accounting['total_cycles']:.3e} cycles):\n"
+            + format_table(["kernel", "cycles", "share"], kernel_rows)
+        )
+    cache = doc.get("cache")
+    if cache is not None:
+        hits = sum(cache.get("hits", {}).values())
+        misses = sum(cache.get("misses", {}).values())
+        blocks.append(
+            f"cache: {hits} hits, {misses} misses, "
+            f"{cache.get('corrupt', 0)} quarantined"
+        )
+    return "\n".join(blocks)
+
+
+# ----------------------------------------------------------------------
+# Regression diffs (`bitpacker-repro obs-report`)
+# ----------------------------------------------------------------------
+def _span_walls(tree: Mapping[str, Any]) -> dict[str, float]:
+    """Total wall seconds per flattened span path (task spans summed)."""
+    walls: dict[str, float] = {}
+    for path, node in _flatten(tree):
+        walls[path] = walls.get(path, 0.0) + node["wall_s"]
+    return walls
+
+
+def diff_profiles(old: Mapping[str, Any], new: Mapping[str, Any]) -> str:
+    """Rendered old-vs-new comparison for regression triage.
+
+    Sections: per-span wall time (with ratio), counters (with delta),
+    and kernel shares.  A ratio column of ``-`` means the span/counter
+    exists on one side only.
+    """
+    from repro.eval.common import format_table
+
+    old_walls = _span_walls(old["span_tree"])
+    new_walls = _span_walls(new["span_tree"])
+    span_rows = []
+    for path in sorted(set(old_walls) | set(new_walls)):
+        a, b = old_walls.get(path), new_walls.get(path)
+        ratio = f"{b / a:.2f}x" if a and b else "-"
+        span_rows.append(
+            [
+                path,
+                "-" if a is None else f"{a:.3f}",
+                "-" if b is None else f"{b:.3f}",
+                ratio,
+            ]
+        )
+    blocks = [
+        f"profile diff: {old['figure']} "
+        f"({old['wall_s']:.2f}s -> {new['wall_s']:.2f}s)",
+        format_table(["span", "old [s]", "new [s]", "ratio"], span_rows),
+    ]
+    old_counters = old.get("counters", {})
+    new_counters = new.get("counters", {})
+    counter_rows = []
+    for name in sorted(set(old_counters) | set(new_counters)):
+        a = old_counters.get(name, 0)
+        b = new_counters.get(name, 0)
+        if a == b:
+            continue
+        counter_rows.append([name, f"{a:g}", f"{b:g}", f"{b - a:+g}"])
+    if counter_rows:
+        blocks.append(
+            "counters (changed only):\n"
+            + format_table(["counter", "old", "new", "delta"], counter_rows)
+        )
+    old_acc = old.get("kernel_accounting") or {"kernels": {}}
+    new_acc = new.get("kernel_accounting") or {"kernels": {}}
+    kernel_rows = []
+    for name in sorted(set(old_acc["kernels"]) | set(new_acc["kernels"])):
+        a = old_acc["kernels"].get(name, {}).get("share")
+        b = new_acc["kernels"].get(name, {}).get("share")
+        kernel_rows.append(
+            [
+                name,
+                "-" if a is None else f"{a:.1%}",
+                "-" if b is None else f"{b:.1%}",
+            ]
+        )
+    if kernel_rows:
+        blocks.append(
+            "kernel shares:\n"
+            + format_table(["kernel", "old", "new"], kernel_rows)
+        )
+    return "\n".join(blocks)

@@ -25,6 +25,7 @@ import numpy as np
 from repro.analysis import sanitize as _sanitize
 from repro.errors import ParameterError
 from repro.nt import modmath
+from repro.obs import core as _obs
 from repro.rns.basis import RnsBasis, crt_weights
 from repro.rns.poly import COEFF, RnsPolynomial
 
@@ -57,6 +58,14 @@ def base_convert(
         raise ParameterError("base_convert requires coefficient domain")
     if _sanitize.ACTIVE:
         _sanitize.check_poly(poly, where="base_convert input")
+    if _obs.ACTIVE:
+        _obs.count("kernel.base_convert")
+        # Volume: source digits read plus destination residues produced,
+        # the CRB FU's (src + dst) x n element traffic.
+        _obs.count(
+            "kernel.base_convert.elems",
+            (poly.basis.size + len(dst_moduli)) * poly.basis.n,
+        )
     src = poly.basis
     n = src.n
     k = src.size
@@ -238,6 +247,9 @@ def scale_down(
     shed = tuple(int(q) for q in shed_moduli)
     if not shed:
         return poly.copy()
+    if _obs.ACTIVE:
+        _obs.count("kernel.rescale")
+        _obs.count("kernel.rescale.elems", poly.basis.size * poly.basis.n)
     p_prod = prod(shed)
     keep = [q for q in poly.basis.moduli if q not in set(shed)]
     if not keep:

@@ -308,6 +308,72 @@ class TestExceptionSwallowPass:
         assert findings == []
 
 
+class TestTimingHygienePass:
+    def test_wall_clock_interval_flagged(self):
+        findings = lint_str(
+            """
+            import time
+
+            def f():
+                t0 = time.time()
+                work()
+                return time.time() - t0
+            """,
+            ["timing-hygiene"],
+        )
+        assert len(findings) == 2
+        assert "time.monotonic()" in findings[0].message
+
+    def test_from_time_import_time_flagged(self):
+        findings = lint_str(
+            """
+            from time import time
+            """,
+            ["timing-hygiene"],
+        )
+        assert len(findings) == 1
+        assert "from time import time" in findings[0].message
+
+    def test_monotonic_and_perf_counter_allowed(self):
+        findings = lint_str(
+            """
+            import time
+            from time import monotonic
+
+            def f():
+                t0 = time.perf_counter()
+                return time.monotonic() - t0
+            """,
+            ["timing-hygiene"],
+        )
+        assert findings == []
+
+    def test_obs_package_exempt(self):
+        findings = lint_str(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            ["timing-hygiene"],
+            path="src/repro/obs/export.py",
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = lint_str(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # fhelint: ok[timing-hygiene] wall stamp
+            """,
+            ["timing-hygiene"],
+        )
+        assert findings == []
+
+
 class TestDriver:
     def test_unknown_rule_rejected(self):
         with pytest.raises(ParameterError, match="unknown lint rules"):

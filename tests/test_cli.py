@@ -61,9 +61,18 @@ class TestFigureCommand:
         result_file = tmp_path / "results" / "fig10_energy_breakdown.txt"
         assert result_file.read_text() == captured.out[:-1]
 
-    def test_unknown_figure_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["figure", "fig99"])
+    def test_unknown_figure_rejected(self, capsys):
+        """Unknown names exit 2 with a one-line error, not a traceback."""
+        rc = main(["figure", "fig99", "fig10"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error: unknown figure(s): fig99" in err
+        assert "Traceback" not in err
+
+    def test_unknown_figure_lists_valid_names(self, capsys):
+        rc = main(["figure", "nope"])
+        assert rc == 2
+        assert "fig14" in capsys.readouterr().err
 
     def test_failed_figure_stops_run_by_default(
         self, capsys, tmp_path, figure_args, monkeypatch
@@ -111,11 +120,62 @@ class TestFigureCommand:
         # ...and nothing after the interrupt ran.
         assert not (tmp_path / "results" / "sec63_area_reduction.txt").exists()
 
-    def test_rejects_bad_jobs(self, figure_args):
-        from repro.errors import ParameterError
+    def test_rejects_bad_jobs(self, capsys, figure_args):
+        rc = main(["figure", "fig10", "--jobs", "0", *figure_args])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error: --jobs must be >= 1" in err
+        assert "Traceback" not in err
 
-        with pytest.raises(ParameterError):
-            main(["figure", "fig10", "--jobs", "0", *figure_args])
+    def test_keep_going_all_failures_exits_nonzero(
+        self, capsys, figure_args, monkeypatch
+    ):
+        """--keep-going with every figure failing must still exit 1."""
+        monkeypatch.setitem(
+            FIGURES, "figbad1", ("repro.eval.no_such_a", "figbad1", "n/a")
+        )
+        monkeypatch.setitem(
+            FIGURES, "figbad2", ("repro.eval.no_such_b", "figbad2", "n/a")
+        )
+        rc = main(["figure", "figbad1", "figbad2", "--keep-going",
+                   *figure_args])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "[figbad1] FAILED" in err
+        assert "[figbad2] FAILED" in err
+        assert "failed: figbad1, figbad2" in err
+
+    def test_result_write_is_atomic_under_interrupt(
+        self, capsys, tmp_path, figure_args
+    ):
+        """Ctrl-C in the publish window leaves no torn or temp files."""
+        from repro.eval import faults
+
+        results = tmp_path / "results"
+        with faults.injected("result:interrupt@0"):
+            rc = main(["figure", "fig10", *figure_args])
+        assert rc == 130
+        assert "[fig10] interrupted" in capsys.readouterr().err
+        out = results / "fig10_energy_breakdown.txt"
+        assert not out.exists()
+        assert list(results.glob("*.tmp")) == []
+        # A clean re-run publishes the full output.
+        assert main(["figure", "fig10", *figure_args]) == 0
+        assert "Fig. 10" in out.read_text()
+
+    def test_result_write_crash_counts_as_failure(
+        self, capsys, tmp_path, figure_args
+    ):
+        """A non-interrupt crash mid-publish fails the figure cleanly."""
+        from repro.eval import faults
+
+        results = tmp_path / "results"
+        with faults.injected("result:raise@0"):
+            rc = main(["figure", "fig10", *figure_args])
+        assert rc == 1
+        assert "[fig10] FAILED" in capsys.readouterr().err
+        assert not (results / "fig10_energy_breakdown.txt").exists()
+        assert list(results.glob("*.tmp")) == []
 
     def test_warm_rerun_served_from_cache(self, capsys, figure_args):
         """Second CLI invocation reads everything back from disk."""
