@@ -1,26 +1,38 @@
 #!/usr/bin/env python
 """Microbenchmarks for the vectorized number-theory hot path.
 
-Times the five kernels every CKKS operation decomposes into — forward /
+Times the kernels every CKKS operation decomposes into — forward /
 inverse NTT, full RNS polynomial multiply, hybrid keyswitch, rescale
 (``scale_down``), and fast base conversion — across ring degrees
-``n ∈ {2^12 .. 2^15}`` and the three modulus-width backends (narrow
-``< 2^31``, wide ``2^31..2^61``, big ``≥ 2^61``).  Each kernel is measured
-twice: the stage-vectorized implementation shipped in :mod:`repro`, and
-the pre-vectorization per-block / per-row baseline preserved in
-:mod:`repro.nt.ntt_reference` (plus the legacy row-loop helpers below),
-so ``speedup_vs_baseline`` isolates exactly what the vectorization PR
-bought.
+``n ∈ {2^12 .. 2^15}``, the three modulus *widths* (narrow ``< 2^31``,
+wide ``2^31..2^61``, big ``≥ 2^61``), and every registered execution
+*backend* (``numpy``, plus ``numba`` where the extra is installed).
+The two dimensions are separate columns: ``width`` is a property of the
+moduli, ``backend`` is the engine the registry dispatched to (earlier
+revisions conflated both under one "backend" key).
+
+Each ``(kernel, n, width)`` point is measured once per engine via
+``repro.backends.use(<engine>)``, plus once against the
+pre-vectorization per-block / per-row baseline preserved in
+:mod:`repro.nt.ntt_reference` (and the legacy row-loop helpers below):
+
+- ``speedup_vs_baseline`` — what the vectorization PR bought;
+- ``speedup_vs_numpy`` — what the engine buys over the numpy reference
+  backend (1.0 for numpy itself).
+
+Big-width rows never enter the registry (object arrays stay on the
+exact per-row path), so only the numpy engine is timed there.
 
 Results are written to ``BENCH_kernels.json`` at the repo root as a list
-of records ``{kernel, n, backend, median_s, baseline_median_s,
-speedup_vs_baseline}`` and printed as a table.
+of records ``{kernel, n, width, backend, median_s, baseline_median_s,
+speedup_vs_baseline, speedup_vs_numpy}`` and printed as a table.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_kernels.py            # full sweep
     PYTHONPATH=src python benchmarks/bench_kernels.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/bench_kernels.py --full     # no big-path caps
+    PYTHONPATH=src python benchmarks/bench_kernels.py --backends numpy numba
 """
 
 from __future__ import annotations
@@ -33,6 +45,7 @@ from pathlib import Path
 
 import numpy as np
 
+import repro.backends as kernel_backends
 from repro.nt import modmath
 from repro.nt.ntt import ntt_context
 from repro.nt.ntt_reference import reference_ntt_context
@@ -44,15 +57,15 @@ from repro.rns.sampling import sample_uniform
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-BACKEND_BOUNDS = {"narrow": 1 << 28, "wide": 1 << 55, "big": 1 << 62}
-#: The big backend runs Python-int object arrays; without --full its
+WIDTH_BOUNDS = {"narrow": 1 << 28, "wide": 1 << 55, "big": 1 << 62}
+#: The big width runs Python-int object arrays; without --full its
 #: O(n log n) interpreter-level baselines are capped to keep the sweep
 #: under a few minutes.
-BIG_BACKEND_MAX_N = 1 << 13
+BIG_WIDTH_MAX_N = 1 << 13
 
 
-def primes_for(backend: str, n: int, count: int) -> list[int]:
-    gen = ntt_friendly_primes_below(BACKEND_BOUNDS[backend], n)
+def primes_for(width: str, n: int, count: int) -> list[int]:
+    gen = ntt_friendly_primes_below(WIDTH_BOUNDS[width], n)
     return [next(gen) for _ in range(count)]
 
 
@@ -137,22 +150,22 @@ def legacy_scale_down(rows, moduli, shed, n):
 # ----------------------------------------------------------------------
 # Kernel setups: each returns (vectorized_callable, baseline_callable).
 # ----------------------------------------------------------------------
-def make_ntt_forward(n, backend, rng):
-    q = primes_for(backend, n, 1)[0]
+def make_ntt_forward(n, width, rng):
+    q = primes_for(width, n, 1)[0]
     a = modmath.uniform_mod(q, n, rng)
     ctx, ref = ntt_context(q, n), reference_ntt_context(q, n)
     return (lambda: ctx.forward(a)), (lambda: ref.forward(a))
 
 
-def make_ntt_inverse(n, backend, rng):
-    q = primes_for(backend, n, 1)[0]
+def make_ntt_inverse(n, width, rng):
+    q = primes_for(width, n, 1)[0]
     a = modmath.uniform_mod(q, n, rng)
     ctx, ref = ntt_context(q, n), reference_ntt_context(q, n)
     return (lambda: ctx.inverse(a)), (lambda: ref.inverse(a))
 
 
-def make_poly_mul(n, backend, rng):
-    moduli = primes_for(backend, n, 4)
+def make_poly_mul(n, width, rng):
+    moduli = primes_for(width, n, 4)
     basis = RnsBasis(n, moduli)
     a = sample_uniform(basis, rng, COEFF)
     b = sample_uniform(basis, rng, COEFF)
@@ -165,8 +178,8 @@ def make_poly_mul(n, backend, rng):
     return vec, base
 
 
-def make_base_convert(n, backend, rng):
-    primes = primes_for(backend, n, 8)
+def make_base_convert(n, width, rng):
+    primes = primes_for(width, n, 8)
     src, dst = primes[:4], primes[4:]
     poly = sample_uniform(RnsBasis(n, src), rng, COEFF)
     def vec():
@@ -178,8 +191,8 @@ def make_base_convert(n, backend, rng):
     return vec, base
 
 
-def make_rescale(n, backend, rng):
-    moduli = primes_for(backend, n, 5)
+def make_rescale(n, width, rng):
+    moduli = primes_for(width, n, 5)
     poly = sample_uniform(RnsBasis(n, moduli), rng, COEFF)
     shed = (moduli[-1],)
     def vec():
@@ -191,8 +204,8 @@ def make_rescale(n, backend, rng):
     return vec, base
 
 
-def make_keyswitch(n, backend, rng):
-    primes = primes_for(backend, n, 6)
+def make_keyswitch(n, width, rng):
+    primes = primes_for(width, n, 6)
     moduli, specials = primes[:4], tuple(primes[4:])
     basis = RnsBasis(n, moduli)
     full = tuple(moduli) + specials
@@ -249,50 +262,74 @@ KERNELS = {
 }
 
 
-def run(sizes, backends, reps, baseline_reps, full: bool):
+def run(sizes, widths, engines, reps, baseline_reps, full: bool):
     results = []
     skipped = []
-    for backend in backends:
+    for width in widths:
         for n in sizes:
-            if backend == "big" and n > BIG_BACKEND_MAX_N and not full:
-                skipped.append((backend, n))
+            if width == "big" and n > BIG_WIDTH_MAX_N and not full:
+                skipped.append((width, n))
                 continue
+            # Big-width rows never enter the registry; only the numpy
+            # engine is meaningful there.
+            point_engines = (
+                [kernel_backends.REFERENCE_BACKEND] if width == "big" else engines
+            )
             for kernel, make in KERNELS.items():
-                rng = np.random.default_rng(hash((kernel, n, backend)) % 2**32)
-                vec, base = make(n, backend, rng)
+                rng = np.random.default_rng(hash((kernel, n, width)) % 2**32)
+                vec, base = make(n, width, rng)
                 vec_reps = reps if n <= 1 << 13 else max(1, reps // 2)
                 base_reps = baseline_reps if n <= 1 << 13 else 1
-                median_s = median_time(vec, vec_reps)
                 baseline_s = median_time(base, base_reps)
-                results.append(
-                    {
-                        "kernel": kernel,
-                        "n": n,
-                        "backend": backend,
-                        "median_s": median_s,
-                        "baseline_median_s": baseline_s,
-                        "speedup_vs_baseline": baseline_s / median_s,
-                    }
-                )
-                print(
-                    f"  {kernel:<13} n=2^{n.bit_length() - 1:<3} {backend:<7} "
-                    f"vec {median_s * 1e3:9.3f} ms   base {baseline_s * 1e3:9.3f} ms   "
-                    f"speedup {baseline_s / median_s:7.1f}x",
-                    flush=True,
-                )
-    for backend, n in skipped:
-        print(f"  [skipped {backend} n=2^{n.bit_length() - 1}: pass --full to include]")
+                numpy_s = None
+                for engine in point_engines:
+                    with kernel_backends.use(engine):
+                        median_s = median_time(vec, vec_reps)
+                    if engine == kernel_backends.REFERENCE_BACKEND:
+                        numpy_s = median_s
+                    results.append(
+                        {
+                            "kernel": kernel,
+                            "n": n,
+                            "width": width,
+                            "backend": engine,
+                            "median_s": median_s,
+                            "baseline_median_s": baseline_s,
+                            "speedup_vs_baseline": baseline_s / median_s,
+                            "speedup_vs_numpy": (
+                                numpy_s / median_s if numpy_s else None
+                            ),
+                        }
+                    )
+                    print(
+                        f"  {kernel:<13} n=2^{n.bit_length() - 1:<3} "
+                        f"{width:<7} {engine:<6} "
+                        f"{median_s * 1e3:9.3f} ms   "
+                        f"base {baseline_s * 1e3:9.3f} ms   "
+                        f"speedup {baseline_s / median_s:7.1f}x",
+                        flush=True,
+                    )
+    for width, n in skipped:
+        print(f"  [skipped {width} n=2^{n.bit_length() - 1}: pass --full to include]")
     return results
 
 
 def print_table(results):
     print()
-    print(f"{'kernel':<13} {'n':>6} {'backend':<8} {'median_s':>12} {'speedup':>9}")
-    print("-" * 52)
+    print(
+        f"{'kernel':<13} {'n':>6} {'width':<7} {'backend':<8} "
+        f"{'median_s':>12} {'vs base':>9} {'vs numpy':>9}"
+    )
+    print("-" * 70)
     for r in results:
+        vs_numpy = (
+            f"{r['speedup_vs_numpy']:>8.1f}x"
+            if r["speedup_vs_numpy"] is not None
+            else f"{'-':>9}"
+        )
         print(
-            f"{r['kernel']:<13} {r['n']:>6} {r['backend']:<8} "
-            f"{r['median_s']:>12.6f} {r['speedup_vs_baseline']:>8.1f}x"
+            f"{r['kernel']:<13} {r['n']:>6} {r['width']:<7} {r['backend']:<8} "
+            f"{r['median_s']:>12.6f} {r['speedup_vs_baseline']:>8.1f}x {vs_numpy}"
         )
 
 
@@ -301,12 +338,19 @@ def main():
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="CI smoke mode: n=2^12 only, narrow backend, 1 rep, separate output file",
+        help="CI smoke mode: n=2^12 only, narrow width, 1 rep, separate output file",
     )
     parser.add_argument(
         "--full",
         action="store_true",
-        help="lift the big-backend size cap (slow: object-array baselines)",
+        help="lift the big-width size cap (slow: object-array baselines)",
+    )
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="execution engines to time (default: every registered backend)",
     )
     parser.add_argument(
         "--out",
@@ -316,17 +360,25 @@ def main():
     )
     args = parser.parse_args()
 
+    engines = args.backends or list(kernel_backends.available_backends())
+    for engine in engines:
+        kernel_backends.get_backend(engine)  # fail fast on typos
+        broken = kernel_backends.verify_backend(engine)
+        if broken:
+            parser.error(f"backend {engine!r} failed verification: {broken[0]}")
+
     if args.quick:
-        sizes, backends, reps, baseline_reps = [1 << 12], ["narrow"], 1, 1
+        sizes, widths, reps, baseline_reps = [1 << 12], ["narrow"], 1, 1
         out = args.out or REPO_ROOT / "BENCH_kernels.quick.json"
     else:
         sizes = [1 << 12, 1 << 13, 1 << 14, 1 << 15]
-        backends = ["narrow", "wide", "big"]
+        widths = ["narrow", "wide", "big"]
         reps, baseline_reps = 5, 2
         out = args.out or REPO_ROOT / "BENCH_kernels.json"
 
+    print(f"engines: {', '.join(engines)}")
     t0 = time.perf_counter()
-    results = run(sizes, backends, reps, baseline_reps, args.full)
+    results = run(sizes, widths, engines, reps, baseline_reps, args.full)
     print_table(results)
     out.write_text(json.dumps(results, indent=2) + "\n")
     print(f"\nwrote {out} ({len(results)} records) in {time.perf_counter() - t0:.1f}s")

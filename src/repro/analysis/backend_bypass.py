@@ -1,0 +1,84 @@
+"""Backend-bypass pass: kernel engines must be reached via the registry.
+
+The hot kernels (batched NTT, base-conversion fold, pointwise
+multiplies) execute on whichever :mod:`repro.backends` engine the user
+selected; the exactness contract (registration cross-check, sanitize
+shadowing) and the per-backend obs attribution all live in the registry
+dispatch layer.  A call site that reaches around it — importing a
+concrete backend module, or invoking the raw numpy stage kernels on an
+``NttRowsContext`` — silently pins the numpy engine, skips the shadow
+check, and miscounts kernel attribution.
+
+The ``backend-bypass`` pass flags, outside ``repro/backends/`` itself:
+
+- ``import repro.backends.numpy_backend`` / ``numba_backend`` (and the
+  ``from ... import`` forms) — concrete engines are registry internals;
+- calls to ``._forward_stages(...)`` / ``._inverse_stages(...)`` — the
+  raw numpy NTT engine behind the dispatching ``forward``/``inverse``
+  (allowed only in ``repro/nt/ntt.py``, where they are defined).
+
+A deliberate bypass (a reference-only diagnostic, say) must carry a
+``# fhelint: ok[backend-bypass] <reason>`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.core import LintPass, SourceModule, register
+
+_ENGINE_MODULES = (
+    "repro.backends.numpy_backend",
+    "repro.backends.numba_backend",
+)
+_STAGE_METHODS = ("_forward_stages", "_inverse_stages")
+
+_IMPORT_MSG = (
+    "concrete kernel-backend modules are registry internals; dispatch "
+    "through repro.backends (ntt_forward, bconv_fold, ...) or "
+    "repro.backends.get_backend() instead of importing {name}"
+)
+_STAGE_MSG = (
+    "{name}() is the raw numpy NTT engine; call the dispatching "
+    "forward()/inverse() (or repro.backends.ntt_forward/ntt_inverse) so "
+    "backend selection, sanitize shadowing, and obs attribution apply"
+)
+
+
+class BackendBypassPass(LintPass):
+    rule = "backend-bypass"
+    description = "kernel backend internals invoked around the registry"
+
+    def check(self, module: SourceModule) -> Iterator[tuple[ast.AST, str]]:
+        parts = Path(module.path).parts
+        if "backends" in parts:
+            return
+        defines_stages = parts[-2:] == ("nt", "ntt.py")
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in _ENGINE_MODULES:
+                        yield node, _IMPORT_MSG.format(name=alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in _ENGINE_MODULES:
+                    yield node, _IMPORT_MSG.format(name=node.module)
+                elif node.module == "repro.backends":
+                    for alias in node.names:
+                        if alias.name.endswith("_backend") and alias.name in (
+                            m.rsplit(".", 1)[1] for m in _ENGINE_MODULES
+                        ):
+                            yield node, _IMPORT_MSG.format(
+                                name=f"repro.backends.{alias.name}"
+                            )
+            elif (
+                not defines_stages
+                and isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _STAGE_METHODS
+            ):
+                yield node, _STAGE_MSG.format(name=node.func.attr)
+
+
+register(BackendBypassPass())

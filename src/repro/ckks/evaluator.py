@@ -240,10 +240,14 @@ class Evaluator:
         for group, (b_row, a_row) in zip(ksk.digit_groups, ksk.rows):
             digit = d.restricted(group)
             ext = base_convert(digit, full_moduli, exact=True).to_ntt()
-            term0 = ext.pointwise_mul(b_row)
-            term1 = ext.pointwise_mul(a_row)
-            acc0 = term0 if acc0 is None else acc0.add(term0)
-            acc1 = term1 if acc1 is None else acc1.add(term1)
+            if acc0 is None:
+                acc0 = ext.pointwise_mul(b_row)
+                acc1 = ext.pointwise_mul(a_row)
+            else:
+                # Fused multiply-accumulate: one backend dispatch per
+                # digit instead of a product plus an add pass.
+                acc0 = acc0.pointwise_mul_acc(ext, b_row)
+                acc1 = acc1.pointwise_mul_acc(ext, a_row)
         k0 = scale_down(acc0.to_coeff(), ksk.special_moduli)
         k1 = scale_down(acc1.to_coeff(), ksk.special_moduli)
         return k0, k1

@@ -30,6 +30,7 @@ from typing import Sequence
 
 import numpy as np
 
+import repro.backends as _backends
 from repro.analysis import sanitize as _sanitize
 from repro.errors import ParameterError
 from repro.nt import modmath
@@ -263,8 +264,16 @@ class NttRowsContext:
         )
 
     def forward(self, mat: np.ndarray) -> np.ndarray:
-        """Batched coefficient -> NTT transform of a ``(k, n)`` matrix."""
+        """Batched coefficient -> NTT transform of a ``(k, n)`` matrix.
+
+        Dispatches through the kernel-backend registry; the numpy
+        reference backend lands back on :meth:`_forward_stages`.
+        """
         self._check(mat)
+        return _backends.ntt_forward(self, mat)
+
+    def _forward_stages(self, mat: np.ndarray) -> np.ndarray:
+        """The stage-vectorized numpy forward kernel (reference engine)."""
         a = mat.copy()
         k = len(self.moduli)
         t = self.n
@@ -283,8 +292,16 @@ class NttRowsContext:
         return a
 
     def inverse(self, mat: np.ndarray) -> np.ndarray:
-        """Batched NTT -> coefficient transform of a ``(k, n)`` matrix."""
+        """Batched NTT -> coefficient transform of a ``(k, n)`` matrix.
+
+        Dispatches through the kernel-backend registry; the numpy
+        reference backend lands back on :meth:`_inverse_stages`.
+        """
         self._check(mat)
+        return _backends.ntt_inverse(self, mat)
+
+    def _inverse_stages(self, mat: np.ndarray) -> np.ndarray:
+        """The stage-vectorized numpy inverse kernel (reference engine)."""
         a = mat.copy()
         k = len(self.moduli)
         t = 1

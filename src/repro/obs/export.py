@@ -6,6 +6,7 @@ DESIGN.md Sec. 10)::
     {
       "schema": 1,
       "figure": "fig14",
+      "backend": "numpy",                    # active kernel backend
       "created_unix": 1754556000.0,          # wall-clock stamp
       "wall_s": 212.4,                       # the root span's duration
       "coverage": 0.998,                     # child-span wall coverage
@@ -192,10 +193,13 @@ def build_profile(
     memory_caches: Mapping[str, Mapping[str, int]] | None = None,
 ) -> dict:
     """Assemble one figure's profile document (see the module docstring)."""
+    import repro.backends as _backends
+
     tree = span_to_dict(root, epoch)
     return {
         "schema": PROFILE_SCHEMA_VERSION,
         "figure": figure,
+        "backend": _backends.active_name(),
         "created_unix": time.time(),
         "wall_s": tree["wall_s"],
         "coverage": coverage(tree),

@@ -22,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+import repro.backends as _backends
 from repro.analysis import sanitize as _sanitize
 from repro.errors import ParameterError
 from repro.nt import modmath
@@ -129,84 +130,53 @@ def base_convert(
                 rows.append(acc_row)
             out_mats[kind] = rows
             continue
-        res = np.empty((len(idx), n), dtype=np.uint64)
+        # One fold weight matrix per destination group: row j holds the
+        # per-source CRT weights q̂_t mod p_j, plus -Q mod p_j when the
+        # α correction rides the fold as an extra digit row.
+        m = len(idx)
+        n_weights = len(src_order) + (1 if alpha_u is not None else 0)
+        weights = np.empty((m, n_weights), dtype=np.uint64)
         for j, i in enumerate(idx):
             p = dst_basis.moduli[i]
-            pu = np.uint64(p)
-            h_u64 = [q_hat[t] % p for t in src_order]
-            neg_q = (-big_q) % p if alpha_u is not None else None
-            if kind == "narrow":
-                # Lazy path: Σ v·h ≡ Σ (v mod p)(h mod p) (mod p), and the
-                # unreduced uint64 products only wrap after `chunk` terms,
-                # so the whole fold is muls + adds + one mod per chunk.
-                if src_u64_max and (src_u64_max - 1) * (p - 1) >= (1 << 64):
-                    w = v_u64 % pu
-                    vmax = p - 1
-                else:
-                    w = v_u64
-                    vmax = max(src_u64_max - 1, 0)
-                if obj_idx or alpha_u is not None:
-                    # α rides the fold as one extra row with weight -Q
-                    # mod p; α itself is tiny (≤ k < p).
-                    kk = k + (1 if alpha_u is not None else 0)
-                    stack = np.empty((kk, n), dtype=np.uint64)
-                    if u64_idx:
-                        stack[: len(u64_idx)] = w
-                    for jj, t in enumerate(obj_idx):
-                        stack[len(u64_idx) + jj] = modmath.as_mod_array(
-                            v_rows[t], p
-                        )
-                    if alpha_u is not None:
-                        stack[kk - 1] = alpha_u
-                        h_u64 = h_u64 + [neg_q]
-                else:
-                    kk = k
-                    stack = w
-                prod_max = max(vmax, p - 1) * (p - 1)
-                chunk = max(1, ((1 << 64) - 1) // (prod_max + 1))
-                # The pre-reduction guard above caps every product at
-                # prod_max < 2^64; chunking bounds the running sums.
-                weights = np.array(h_u64, dtype=np.uint64)[:, None]
-                prods = stack * weights  # fhelint: ok[overflow-hazard]
-                total = prods[:chunk].sum(axis=0, dtype=np.uint64) % pu
-                for c0 in range(chunk, kk, chunk):
-                    # Each reduced chunk sum is < p < 2^31; a handful of
-                    # them cannot wrap uint64 before the final reduce.
-                    total += prods[c0 : c0 + chunk].sum(axis=0, dtype=np.uint64) % pu
-                res[j] = total % pu
+            row = [q_hat[t] % p for t in src_order]
+            if alpha_u is not None:
+                row.append((-big_q) % p)
+            weights[j] = row
+        p_group = [dst_basis.moduli[i] for i in idx]
+        if not obj_idx:
+            # Destination-independent digit stack — the uint64 source
+            # digits plus the (tiny, ≤ k) α row — so the whole group
+            # reduces in one backend dispatch.
+            if alpha_u is not None:
+                kk = len(u64_idx) + 1
+                stack = np.empty((kk, n), dtype=np.uint64)
+                stack[: len(u64_idx)] = v_u64
+                stack[kk - 1] = alpha_u
             else:
-                # Wide destination: operands must sit below p for the
-                # float-assisted multiply (scalar multipliers hit numpy's
-                # fast scalar-divisor loops), then an exact mod_add fold.
-                w = v_u64 if src_u64_max <= p else v_u64 % pu
-                acc_row = None
-                for jj in range(len(u64_idx)):
-                    term = modmath.mod_mul(w[jj], h_u64[jj], p)
-                    acc_row = (
-                        term
-                        if acc_row is None
-                        else modmath.mod_add(acc_row, term, p)
-                    )
+                stack = v_u64
+            out_mats[kind] = _backends.bconv_fold(
+                stack, weights, p_group, src_u64_max, kind
+            )
+        else:
+            # Big-int source rows reduce differently per destination, so
+            # each destination folds its own stack (m == 1 dispatches).
+            res = np.empty((m, n), dtype=np.uint64)
+            for j, i in enumerate(idx):
+                p = dst_basis.moduli[i]
+                kk = k + (1 if alpha_u is not None else 0)
+                stack = np.empty((kk, n), dtype=np.uint64)
+                if u64_idx:
+                    stack[: len(u64_idx)] = v_u64
                 for jj, t in enumerate(obj_idx):
-                    wr = modmath.as_mod_array(v_rows[t], p)
-                    term = modmath.mod_mul(wr, h_u64[len(u64_idx) + jj], p)
-                    acc_row = (
-                        term
-                        if acc_row is None
-                        else modmath.mod_add(acc_row, term, p)
+                    stack[len(u64_idx) + jj] = modmath.as_mod_array(
+                        v_rows[t], p
                     )
                 if alpha_u is not None:
-                    # α ≤ k, so α·(-Q mod p) fits uint64 whenever
-                    # (k+1)·p < 2^64 — skip the longdouble multiply.
-                    if (k + 1) * p < (1 << 64):
-                        # Guarded above: alpha <= k, so the product and
-                        # the pre-reduction value stay under 2^64.
-                        corr = alpha_u * np.uint64(neg_q) % pu  # fhelint: ok
-                    else:
-                        corr = modmath.mod_mul(alpha_u, neg_q, p)
-                    acc_row = modmath.mod_add(acc_row, corr, p)
-                res[j] = acc_row
-        out_mats[kind] = res
+                    stack[kk - 1] = alpha_u
+                res[j] = _backends.bconv_fold(
+                    stack, weights[j : j + 1], [p], src_u64_max, kind
+                )[0]
+            out_mats[kind] = res
     # Hand the result over in stacked form so downstream matrix ops
     # (NTT, sub, rowwise multiplies) skip the re-stacking copy.
     return RnsPolynomial._from_group_mats(dst_basis, out_mats, COEFF)

@@ -22,6 +22,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+import repro.backends as _backends
 from repro.analysis import sanitize as _sanitize
 from repro.errors import ParameterError, ScaleMismatchError
 from repro.nt import modmath
@@ -206,11 +207,64 @@ class RnsPolynomial:
         return self._map_mats(modmath.mod_neg)
 
     def pointwise_mul(self, other: "RnsPolynomial") -> "RnsPolynomial":
-        """Hadamard product; in NTT domain this is polynomial multiplication."""
+        """Hadamard product; in NTT domain this is polynomial multiplication.
+
+        The uint64 groups dispatch through the kernel-backend registry;
+        big-int rows stay on the exact per-row modmath path.
+        """
         self._check_compatible(other)
         if self.domain != NTT:
             raise ParameterError("pointwise_mul requires NTT domain")
-        return self._map_mats(modmath.mod_mul, other, domain=NTT)
+        mats = self.group_matrices()
+        other_mats = other.group_matrices()
+        out = {}
+        for kind, idx, q_col in self.basis.backend_groups():
+            if kind == "big":
+                out[kind] = [
+                    modmath.mod_mul(row, o_row, self.basis.moduli[i])
+                    for row, o_row, i in zip(
+                        mats[kind], other_mats[kind], idx
+                    )
+                ]
+            else:
+                out[kind] = _backends.pointwise_mul(
+                    mats[kind], other_mats[kind], q_col, kind
+                )
+        return RnsPolynomial._from_group_mats(self.basis, out, NTT)
+
+    def pointwise_mul_acc(
+        self, a: "RnsPolynomial", b: "RnsPolynomial"
+    ) -> "RnsPolynomial":
+        """``self + a · b`` fused — the keyswitch inner-loop accumulate.
+
+        One backend dispatch per uint64 group instead of a multiply
+        followed by an add (two full passes over the residue matrix).
+        """
+        self._check_compatible(a)
+        a._check_compatible(b)
+        if self.domain != NTT:
+            raise ParameterError("pointwise_mul_acc requires NTT domain")
+        mats = self.group_matrices()
+        a_mats = a.group_matrices()
+        b_mats = b.group_matrices()
+        out = {}
+        for kind, idx, q_col in self.basis.backend_groups():
+            if kind == "big":
+                out[kind] = [
+                    modmath.mod_add(
+                        acc_row,
+                        modmath.mod_mul(ar, br, self.basis.moduli[i]),
+                        self.basis.moduli[i],
+                    )
+                    for acc_row, ar, br, i in zip(
+                        mats[kind], a_mats[kind], b_mats[kind], idx
+                    )
+                ]
+            else:
+                out[kind] = _backends.pointwise_mul_acc(
+                    mats[kind], a_mats[kind], b_mats[kind], q_col, kind
+                )
+        return RnsPolynomial._from_group_mats(self.basis, out, NTT)
 
     def poly_mul(self, other: "RnsPolynomial") -> "RnsPolynomial":
         """Negacyclic polynomial product, returned in the callers' domain."""
