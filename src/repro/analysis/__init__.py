@@ -18,6 +18,12 @@ here may import back into the RNS/CKKS stack.
 """
 
 from repro.analysis import sanitize
+from repro.analysis.absint import (
+    VerifyResult,
+    verify_or_raise,
+    verify_trace,
+    verify_traces,
+)
 from repro.analysis.core import (
     Finding,
     LintPass,
@@ -31,6 +37,7 @@ from repro.analysis.schedule import check_trace, check_traces, workload_traces
 __all__ = [
     "Finding",
     "LintPass",
+    "VerifyResult",
     "all_passes",
     "check_trace",
     "check_traces",
@@ -38,5 +45,8 @@ __all__ = [
     "render_report",
     "run_lint",
     "sanitize",
+    "verify_or_raise",
+    "verify_trace",
+    "verify_traces",
     "workload_traces",
 ]

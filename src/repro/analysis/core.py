@@ -58,6 +58,15 @@ class SourceModule:
         self.path = path
         self.text = text
         self.tree = ast.parse(text, filename=path)
+        # Statement spans, for pragma lookup: a finding's node may be a
+        # sub-expression spanning fewer lines than the statement it sits
+        # in, but the pragma can legitimately sit on any continuation
+        # line of that statement.
+        self._stmt_spans: list[tuple[int, int]] = [
+            (node.lineno, node.end_lineno or node.lineno)
+            for node in ast.walk(self.tree)
+            if isinstance(node, ast.stmt)
+        ]
         self.line_ok: dict[int, set[str]] = {}
         self.file_disabled: set[str] = set()
         for lineno, line in enumerate(text.splitlines(), start=1):
@@ -75,16 +84,38 @@ class SourceModule:
         return cls(str(path), path.read_text())
 
     def suppressed(self, rule: str, node: ast.AST) -> bool:
-        """Whether ``rule`` is pragma-suppressed anywhere in ``node``'s span."""
+        """Whether ``rule`` is pragma-suppressed for ``node``.
+
+        A pragma anywhere inside the *innermost statement* containing
+        the node counts: findings often point at a sub-expression, while
+        the ``# fhelint: ok[...]`` comment may sit on any continuation
+        line of the multi-line statement around it.
+        """
         if rule in self.file_disabled or ALL_RULES in self.file_disabled:
             return True
+        if not self.line_ok:
+            return False
         start = getattr(node, "lineno", 0)
         end = getattr(node, "end_lineno", None) or start
+        start, end = self._enclosing_statement_span(start, end)
         for line in range(start, end + 1):
             rules = self.line_ok.get(line)
             if rules and (rule in rules or ALL_RULES in rules):
                 return True
         return False
+
+    def _enclosing_statement_span(
+        self, start: int, end: int
+    ) -> tuple[int, int]:
+        """The innermost statement span containing ``[start, end]``."""
+        best = (start, end)
+        best_size = None
+        for s_start, s_end in self._stmt_spans:
+            if s_start <= start and end <= s_end:
+                size = s_end - s_start
+                if best_size is None or size < best_size:
+                    best, best_size = (s_start, s_end), size
+        return best
 
 
 class LintPass:
@@ -139,6 +170,7 @@ def _ensure_builtin_passes() -> None:
         backend_bypass,
         dtypes,
         exception_hygiene,
+        fork_safety,
         overflow,
         timing,
     )

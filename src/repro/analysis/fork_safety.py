@@ -1,0 +1,262 @@
+"""Fork-safety pass: tasks shipped to worker processes must travel well.
+
+:func:`repro.eval.runner.map_grid` executes tasks in a
+``ProcessPoolExecutor``: the task function is pickled to the worker, and
+the worker's module state is a *copy* of the parent's.  Two bug classes
+follow, both invisible in single-process runs:
+
+- **Module-global mutation inside a task.**  Setting an ``ACTIVE``-style
+  flag or filling a module-level cache inside the task mutates the
+  worker's copy only; the parent never sees it (and with the ``fork``
+  start method the workers may not see each other's writes either).
+- **Unpicklable tasks.**  Lambdas, closures (functions defined inside
+  another function), and references to module globals that cannot
+  pickle (locks, open file handles) fail at submit time — but only on
+  the multiprocess path, so ``--jobs 1`` tests never catch them.
+
+The ``fork-safety`` pass flags both at the source level, for every
+function it can resolve to a module-level ``def`` in the same file.
+Tasks imported from elsewhere are skipped (the pass runs per-module);
+the asyncio serve layer will tighten this when tasks start crossing
+machines.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import LintPass, SourceModule, register
+
+#: Constructors whose results cannot cross a pickle boundary.
+_UNPICKLABLE_CTORS = frozenset(
+    {"Lock", "RLock", "Semaphore", "BoundedSemaphore", "Condition",
+     "Event", "Barrier", "local", "open"}
+)
+
+#: Container methods that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {"append", "extend", "insert", "add", "update", "setdefault",
+     "pop", "popitem", "clear", "remove", "discard"}
+)
+
+
+def _assigned_names(target: ast.AST) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            if isinstance(element, ast.Starred):
+                element = element.value
+            yield from _assigned_names(element)
+
+
+class _ModuleIndex:
+    """Top-level bindings of one module, as the pass needs them."""
+
+    def __init__(self, tree: ast.Module):
+        self.functions: dict[str, ast.FunctionDef] = {}
+        self.globals: set[str] = set()
+        self.unpicklable: set[str] = set()
+        self.imported: set[str] = set()
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = node
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    self.imported.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                value = node.value
+                bad = (
+                    isinstance(value, ast.Call)
+                    and _callee_tail(value.func) in _UNPICKLABLE_CTORS
+                )
+                for target in targets:
+                    for name in _assigned_names(target):
+                        self.globals.add(name)
+                        if bad:
+                            self.unpicklable.add(name)
+
+
+def _callee_tail(func: ast.AST) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_map_grid(call: ast.Call) -> bool:
+    return _callee_tail(call.func) == "map_grid"
+
+
+def _task_argument(call: ast.Call) -> ast.AST | None:
+    if call.args:
+        return call.args[0]
+    for kw in call.keywords:
+        if kw.arg == "func":
+            return kw.value
+    return None
+
+
+def _local_names(func: ast.FunctionDef, declared_global: set[str]) -> set[str]:
+    args = func.args
+    names = {
+        a.arg
+        for a in (
+            args.posonlyargs + args.args + args.kwonlyargs
+        )
+    }
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                names.update(_assigned_names(target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names.update(_assigned_names(node.target))
+        elif isinstance(node, ast.comprehension):
+            names.update(_assigned_names(node.target))
+    return names - declared_global
+
+
+class ForkSafetyPass(LintPass):
+    rule = "fork-safety"
+    description = "map_grid tasks that mutate globals or cannot pickle"
+
+    def check(self, module: SourceModule) -> Iterator[tuple[ast.AST, str]]:
+        index = _ModuleIndex(module.tree)
+        nested = self._nested_function_names(module.tree)
+        seen: set[str] = set()
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and _is_map_grid(node)):
+                continue
+            task = _task_argument(node)
+            if task is None:
+                continue
+            if isinstance(task, ast.Lambda):
+                yield task, (
+                    "lambda submitted to map_grid cannot be pickled to a "
+                    "worker process; use a module-level def"
+                )
+                continue
+            if not isinstance(task, ast.Name):
+                continue
+            if task.id in nested:
+                yield task, (
+                    f"task '{task.id}' is defined inside another function: "
+                    "closures cannot be pickled to a worker process; move "
+                    "it to module level"
+                )
+                continue
+            func = index.functions.get(task.id)
+            if func is None or task.id in seen:
+                # Imported or otherwise unresolvable tasks are out of
+                # this module's jurisdiction.
+                continue
+            seen.add(task.id)
+            yield from self._check_task(func, index)
+
+    @staticmethod
+    def _nested_function_names(tree: ast.Module) -> set[str]:
+        nested: set[str] = set()
+        for outer in ast.walk(tree):
+            if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for inner in ast.walk(outer):
+                if inner is outer:
+                    continue
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested.add(inner.name)
+        return nested
+
+    def _check_task(
+        self, func: ast.FunctionDef, index: _ModuleIndex
+    ) -> Iterator[tuple[ast.AST, str]]:
+        declared_global: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        local = _local_names(func, declared_global)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                hit = sorted(set(node.names) & index.globals)
+                if hit:
+                    yield node, (
+                        f"task '{func.name}' rebinds module global(s) "
+                        f"{', '.join(hit)}: the write lands in the worker "
+                        "process's copy and the parent never sees it"
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    name = self._mutated_global(target, index, local)
+                    if name:
+                        yield node, (
+                            f"task '{func.name}' mutates module-level "
+                            f"container '{name}': worker-process writes "
+                            "are invisible to the parent (pass results "
+                            "back as return values instead)"
+                        )
+            elif isinstance(node, ast.Call):
+                name = self._mutating_method_receiver(node, index, local)
+                if name:
+                    yield node, (
+                        f"task '{func.name}' mutates module-level "
+                        f"container '{name}' in place: worker-process "
+                        "writes are invisible to the parent"
+                    )
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, ast.Load
+            ):
+                if node.id in index.unpicklable and node.id not in local:
+                    yield node, (
+                        f"task '{func.name}' references module global "
+                        f"'{node.id}', which cannot be pickled to a "
+                        "worker process"
+                    )
+
+    @staticmethod
+    def _mutated_global(
+        target: ast.AST, index: _ModuleIndex, local: set[str]
+    ) -> str | None:
+        # NAME[key] = value  (or augmented) on a module-level container.
+        if isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Name
+        ):
+            name = target.value.id
+            if name in index.globals and name not in local:
+                return name
+        return None
+
+    @staticmethod
+    def _mutating_method_receiver(
+        call: ast.Call, index: _ModuleIndex, local: set[str]
+    ) -> str | None:
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATING_METHODS
+            and isinstance(func.value, ast.Name)
+        ):
+            name = func.value.id
+            if name in index.globals and name not in local:
+                return name
+        return None
+
+
+register(ForkSafetyPass())

@@ -23,7 +23,11 @@ time) or :func:`enable` / :func:`disable` at runtime.  Violations raise
 
 from __future__ import annotations
 
+import contextlib
+import math
 import os
+from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -123,6 +127,69 @@ def check_residue_matrix(mat: np.ndarray, moduli, where: str) -> None:
         )
     if not bool((mat < q_col).all()):
         _fail(f"{where}: unreduced residue in batched NTT input")
+
+
+# ----------------------------------------------------------------------
+# Per-op observation log.  The static verifier
+# (:mod:`repro.analysis.absint`) predicts an interval for every op's
+# result scale and level; :func:`record_ops` captures what the evaluator
+# actually produced so :func:`~repro.analysis.absint.check_observations`
+# can assert containment — the static and runtime layers checking each
+# other.  Guarded by a *separate* flag so plain ``REPRO_SANITIZE=1``
+# test shards never grow an unbounded list.
+# ----------------------------------------------------------------------
+
+#: Whether evaluator hook sites append to the op log.  Only
+#: :func:`record_ops` sets this; ``REPRO_SANITIZE=1`` alone does not.
+RECORDING = False
+
+_OP_LOG: list["OpObservation"] = []
+
+
+@dataclass(frozen=True)
+class OpObservation:
+    """What one evaluator op actually produced: its result's level/scale."""
+
+    kind: str
+    level: int
+    scale_bits: float
+
+
+def _log2_fraction(scale) -> float:
+    # Realized scales are exact Fractions whose parts overflow float
+    # (2^600-bit numerators at the top of a deep chain): take log2 of
+    # numerator and denominator as big ints.
+    num, den = scale.numerator, scale.denominator
+    return math.log2(num) - math.log2(den)
+
+
+def observe_op(kind: str, ct) -> None:
+    """Hook site: record an evaluator op's result (no-op unless recording)."""
+    if not RECORDING:
+        return
+    _OP_LOG.append(
+        OpObservation(
+            kind=kind, level=ct.level, scale_bits=_log2_fraction(ct.scale)
+        )
+    )
+
+
+@contextlib.contextmanager
+def record_ops() -> Iterator[list[OpObservation]]:
+    """Sanitize-and-record scope: yields the live observation list.
+
+    Turns the sanitizer on (the observations ride on its hook sites) and
+    starts per-op recording; both are restored on exit.  The yielded
+    list is the module log itself, appended to as ops execute.
+    """
+    global ACTIVE, RECORDING
+    prior_active, prior_recording = ACTIVE, RECORDING
+    ACTIVE, RECORDING = True, True
+    _OP_LOG.clear()
+    try:
+        yield _OP_LOG
+    finally:
+        ACTIVE, RECORDING = prior_active, prior_recording
 
 
 def check_ciphertext(ct) -> None:

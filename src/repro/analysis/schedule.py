@@ -1,13 +1,13 @@
 """Schedule linter: FHE-program bugs in :class:`~repro.trace.program.HeTrace`.
 
 The trace IR records what a homomorphic program does per level; a whole
-class of FHE bugs is visible right there, before any ciphertext exists:
-rescaling a ciphertext that is already on the terminal level, operating
-below level 0 without a bootstrap, adjusting *up* the chain (impossible
-without a bootstrap), or combining operands whose scales cannot match.
-:func:`check_trace` reports these as :class:`~repro.analysis.core.Finding`
-objects — the ``path`` is the trace name and the ``line`` the op index —
-so the CLI can render trace findings and file findings uniformly.
+class of FHE bugs is visible right there, before any ciphertext exists.
+The checks live in :mod:`repro.analysis.absint` — an abstract
+interpreter that walks the trace with a symbolic ciphertext (level,
+scale interval, noise budget) — and this module keeps the original
+linter entry points as a façade over it: :func:`check_trace` returns
+the engine's *violations* (waste diagnostics are a ``verify-trace``
+feature), with the historical rule ids unchanged.
 
 Scale-mismatch checking uses the optional ``scale_bits`` field of
 :class:`~repro.trace.program.TraceOp`: when a program records the scale
@@ -21,28 +21,19 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.analysis.core import Finding
-from repro.trace.program import HeTrace, OpKind
-
-#: An operand scale more than this many bits off the level's canonical
-#: scale makes an add/mul meaningless (rescale rounding stays far below).
-SCALE_TOLERANCE_BITS = 0.5
-
-_BINARY_KINDS = frozenset(
-    {OpKind.HADD, OpKind.HMUL, OpKind.PADD, OpKind.PMUL}
+from repro.analysis.absint import (  # noqa: F401  (re-exported API)
+    SCALE_TOLERANCE_BITS,
+    verify_trace,
 )
-
-
-def _finding(trace: HeTrace, index: int, rule: str, message: str) -> Finding:
-    return Finding(
-        rule=rule, path=f"trace:{trace.name}", line=index, col=0, message=message
-    )
+from repro.analysis.core import Finding
+from repro.trace.program import HeTrace
 
 
 def check_trace(trace: HeTrace) -> list[Finding]:
     """Lint one trace for FHE-schedule bugs.
 
-    Rules:
+    Runs :func:`repro.analysis.absint.verify_trace` and returns its
+    violations.  Rules (see ``absint.VIOLATION_RULES``):
 
     - ``trace-level-range`` — an op sits outside ``[0, max_level]``;
       below 0 means the program consumed more levels than the chain has
@@ -54,71 +45,18 @@ def check_trace(trace: HeTrace) -> list[Finding]:
     - ``trace-scale-mismatch`` — an add/mul whose recorded operand scale
       differs from the level's canonical scale by more than
       ``SCALE_TOLERANCE_BITS`` (e.g. a product used before rescale).
+    - ``trace-level-flow`` — a level change with no rescale, adjust, or
+      bootstrap to explain it (a missing rescale, typically).
+    - ``trace-scale-overflow`` — a product scale within headroom of the
+      level's modulus width.
+    - ``trace-rescale-below-min`` — a rescale whose output scale drops
+      below the precision floor for the ring degree.
+    - ``trace-noise-exhausted`` — the noise-budget lower bound runs out
+      before the next bootstrap.
+    - ``trace-infeasible-chain`` — the per-level scale targets admit no
+      realizable modulus chain at all.
     """
-    findings: list[Finding] = []
-    max_level = trace.max_level
-    for index, op in enumerate(trace.ops):
-        if not 0 <= op.level <= max_level:
-            hint = (
-                " (below level 0: bootstrap before consuming more levels)"
-                if op.level < 0
-                else ""
-            )
-            findings.append(
-                _finding(
-                    trace,
-                    index,
-                    "trace-level-range",
-                    f"{op.kind.value} at level {op.level} outside chain "
-                    f"[0, {max_level}]{hint}",
-                )
-            )
-            continue
-        if op.kind is OpKind.RESCALE and op.level == 0:
-            findings.append(
-                _finding(
-                    trace,
-                    index,
-                    "trace-terminal-rescale",
-                    "rescale at level 0: the chain is already terminal; "
-                    "insert a bootstrap instead",
-                )
-            )
-        if op.kind is OpKind.ADJUST:
-            dst = op.dst_level if op.dst_level is not None else op.level
-            if dst >= op.level:
-                findings.append(
-                    _finding(
-                        trace,
-                        index,
-                        "trace-adjust-up",
-                        f"adjust from level {op.level} to {dst}: adjust only "
-                        "moves down the chain (up requires a bootstrap)",
-                    )
-                )
-            elif dst < 0:
-                findings.append(
-                    _finding(
-                        trace,
-                        index,
-                        "trace-level-range",
-                        f"adjust destination level {dst} below 0",
-                    )
-                )
-        if op.kind in _BINARY_KINDS and op.scale_bits is not None:
-            canonical = trace.level_scale_bits[op.level]
-            if abs(op.scale_bits - canonical) > SCALE_TOLERANCE_BITS:
-                findings.append(
-                    _finding(
-                        trace,
-                        index,
-                        "trace-scale-mismatch",
-                        f"{op.kind.value} at level {op.level} with operand "
-                        f"scale 2^{op.scale_bits:g} but the level's canonical "
-                        f"scale is 2^{canonical:g}; rescale or adjust first",
-                    )
-                )
-    return findings
+    return verify_trace(trace).findings
 
 
 def check_traces(traces: Iterable[HeTrace]) -> list[Finding]:

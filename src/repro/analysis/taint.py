@@ -133,16 +133,43 @@ class FunctionTaint:
 
     def _collect(self, node: ast.AST) -> None:
         if isinstance(node, ast.Assign):
-            kinds = self.classify(node.value)
             for target in node.targets:
-                self._bind(target, kinds)
+                self._bind_value(target, node.value)
         elif isinstance(node, ast.AnnAssign) and node.value is not None:
-            self._bind(node.target, self.classify(node.value))
+            self._bind_value(node.target, node.value)
         elif isinstance(node, ast.AugAssign):
             kinds = self.classify(node.value) | self.classify(node.target)
             self._bind(node.target, kinds)
+        elif isinstance(node, ast.NamedExpr):
+            # Walrus targets taint like any assignment; the expression
+            # value flows onward separately via classify.
+            self._bind(node.target, self.classify(node.value))
+
+    def _bind_value(self, target: ast.AST, value: ast.AST) -> None:
+        """Bind one assignment target to its value expression.
+
+        Matching-arity tuple/list assignments unpack in parallel so each
+        name gets its own element's kinds; any other shape falls back to
+        binding the whole value's kinds to every unpacked name.
+        """
+        if (
+            isinstance(target, (ast.Tuple, ast.List))
+            and isinstance(value, (ast.Tuple, ast.List))
+            and len(target.elts) == len(value.elts)
+            and not any(isinstance(e, ast.Starred) for e in target.elts)
+        ):
+            for element, element_value in zip(target.elts, value.elts):
+                self._bind_value(element, element_value)
+            return
+        self._bind(target, self.classify(value))
 
     def _bind(self, target: ast.AST, kinds: set[str]) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                if isinstance(element, ast.Starred):
+                    element = element.value
+                self._bind(element, kinds)
+            return
         if isinstance(target, ast.Name) and kinds:
             self.env.setdefault(target.id, set()).update(kinds)
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import TYPE_CHECKING
 
+from repro.analysis import sanitize as _san
 from repro.ckks.ciphertext import Ciphertext
 from repro.ckks.encoder import CkksEncoder
 from repro.ckks.keys import KeyChest, KeySwitchKey
@@ -59,15 +60,21 @@ class Evaluator:
 
     def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         self._check_addable(a, b)
-        return Ciphertext(
+        out = Ciphertext(
             c0=a.c0.add(b.c0), c1=a.c1.add(b.c1), level=a.level, scale=a.scale
         )
+        if _san.ACTIVE:
+            _san.observe_op("hadd", out)
+        return out
 
     def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         self._check_addable(a, b)
-        return Ciphertext(
+        out = Ciphertext(
             c0=a.c0.sub(b.c0), c1=a.c1.sub(b.c1), level=a.level, scale=a.scale
         )
+        if _san.ACTIVE:
+            _san.observe_op("hadd", out)
+        return out
 
     def negate(self, ct: Ciphertext) -> Ciphertext:
         return ct.with_polys(ct.c0.neg(), ct.c1.neg())
@@ -78,14 +85,20 @@ class Evaluator:
         pt_poly = RnsPolynomial.from_int_coeffs(ct.basis, coeffs)
         if ct.c0.domain == NTT:
             pt_poly = pt_poly.to_ntt()
-        return ct.with_polys(ct.c0.add(pt_poly), ct.c1)
+        out = ct.with_polys(ct.c0.add(pt_poly), ct.c1)
+        if _san.ACTIVE:
+            _san.observe_op("padd", out)
+        return out
 
     def sub_plain(self, ct: Ciphertext, values) -> Ciphertext:
         coeffs = self.encoder.encode(values, ct.scale)
         pt_poly = RnsPolynomial.from_int_coeffs(ct.basis, coeffs)
         if ct.c0.domain == NTT:
             pt_poly = pt_poly.to_ntt()
-        return ct.with_polys(ct.c0.sub(pt_poly), ct.c1)
+        out = ct.with_polys(ct.c0.sub(pt_poly), ct.c1)
+        if _san.ACTIVE:
+            _san.observe_op("padd", out)
+        return out
 
     # ------------------------------------------------------------------
     # Scalar (integer-constant) operations
@@ -126,7 +139,10 @@ class Evaluator:
         pt_poly = RnsPolynomial.from_int_coeffs(ct.basis, coeffs).to_ntt()
         c0 = ct.c0.to_ntt().pointwise_mul(pt_poly).to_coeff()
         c1 = ct.c1.to_ntt().pointwise_mul(pt_poly).to_coeff()
-        return Ciphertext(c0=c0, c1=c1, level=ct.level, scale=ct.scale * scale)
+        out = Ciphertext(c0=c0, c1=c1, level=ct.level, scale=ct.scale * scale)
+        if _san.ACTIVE:
+            _san.observe_op("pmul", out)
+        return out
 
     def multiply(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         """Homomorphic multiply with relinearization (no rescale).
@@ -149,7 +165,10 @@ class Evaluator:
         k0, k1 = self._keyswitch(d2.to_coeff(), self.chest.relin_key(a.level))
         c0 = d0.to_coeff().add(k0)
         c1 = d1.to_coeff().add(k1)
-        return Ciphertext(c0=c0, c1=c1, level=a.level, scale=a.scale * b.scale)
+        out = Ciphertext(c0=c0, c1=c1, level=a.level, scale=a.scale * b.scale)
+        if _san.ACTIVE:
+            _san.observe_op("hmul", out)
+        return out
 
     def square(self, ct: Ciphertext) -> Ciphertext:
         """Homomorphic squaring (slightly cheaper than a general multiply)."""
@@ -162,12 +181,15 @@ class Evaluator:
         d1 = cross.add(cross)
         d2 = c1n.pointwise_mul(c1n)
         k0, k1 = self._keyswitch(d2.to_coeff(), self.chest.relin_key(ct.level))
-        return Ciphertext(
+        out = Ciphertext(
             c0=d0.to_coeff().add(k0),
             c1=d1.to_coeff().add(k1),
             level=ct.level,
             scale=ct.scale * ct.scale,
         )
+        if _san.ACTIVE:
+            _san.observe_op("hmul", out)
+        return out
 
     # ------------------------------------------------------------------
     # Rotations
@@ -192,9 +214,12 @@ class Evaluator:
         c0 = ct.c0.to_coeff().galois(g)
         c1 = ct.c1.to_coeff().galois(g)
         k0, k1 = self._keyswitch(c1, self.chest.galois_key(ct.level, g))
-        return Ciphertext(
+        out = Ciphertext(
             c0=c0.add(k0), c1=k1, level=ct.level, scale=ct.scale
         )
+        if _san.ACTIVE:
+            _san.observe_op("hrot", out)
+        return out
 
     # ------------------------------------------------------------------
     # Level management (delegated to the chain)
@@ -204,14 +229,20 @@ class Evaluator:
         if _obs.ACTIVE:
             _obs.count("op.rescale")
             _obs.count("op.rescale.elems", ct.basis.size * ct.basis.n)
-        return self.chain.rescale(ct)
+        out = self.chain.rescale(ct)
+        if _san.ACTIVE:
+            _san.observe_op("rescale", out)
+        return out
 
     def adjust(self, ct: Ciphertext, dst_level: int) -> Ciphertext:
         """Bring ``ct`` to ``dst_level`` with that level's canonical scale."""
         if _obs.ACTIVE:
             _obs.count("op.adjust")
             _obs.count("op.adjust.elems", ct.basis.size * ct.basis.n)
-        return self.chain.adjust(ct, dst_level)
+        out = self.chain.adjust(ct, dst_level)
+        if _san.ACTIVE:
+            _san.observe_op("adjust", out)
+        return out
 
     def multiply_rescale(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         return self.rescale(self.multiply(a, b))

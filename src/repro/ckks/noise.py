@@ -16,12 +16,36 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.rns.sampling import DEFAULT_SIGMA
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.schemes.chain import ModulusChain
+
+
+@dataclass(frozen=True)
+class _LevelScaleView:
+    """Duck-typed stand-in for one :class:`~repro.schemes.chain.Level`."""
+
+    log2_scale: float
+
+
+@dataclass(frozen=True)
+class _TraceChainView:
+    """The slice of the chain interface :class:`NoiseModel` reads.
+
+    Lets the static verifier (:mod:`repro.analysis.absint`) run the
+    noise rules from a trace's scale targets alone, before any scheme
+    has planned concrete primes.
+    """
+
+    n: int
+    levels: tuple[_LevelScaleView, ...]
+
+    @property
+    def max_level(self) -> int:
+        return len(self.levels) - 1
 
 
 @dataclass(frozen=True)
@@ -49,6 +73,27 @@ class NoiseModel:
         self.chain = chain
         self.sigma = sigma
         self._sqrt_n_bits = 0.5 * math.log2(chain.n)
+
+    @classmethod
+    def from_level_scales(
+        cls,
+        n: int,
+        level_scale_bits: Sequence[float],
+        sigma: float = DEFAULT_SIGMA,
+    ) -> "NoiseModel":
+        """A model over per-level scale targets, with no planned chain.
+
+        The noise rules only read ``chain.n`` and each level's
+        ``log2_scale``, so a trace's ``level_scale_bits`` (level 0
+        first) is enough to estimate a schedule's noise statically.
+        """
+        view = _TraceChainView(
+            n=n,
+            levels=tuple(
+                _LevelScaleView(float(bits)) for bits in level_scale_bits
+            ),
+        )
+        return cls(view, sigma)  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------
     def fresh(self, level: int | None = None) -> NoiseEstimate:

@@ -17,6 +17,9 @@ Usage (``python -m repro ...``)::
     python -m repro backends
     python -m repro list-figures
     python -m repro lint --traces
+    python -m repro lint --format sarif --output fhelint.sarif
+    python -m repro verify-trace --waste
+    python -m repro verify-trace my_schedule.json --format json
 
 ``figure`` treats sweeps as restartable batch jobs: worker crashes and
 hung tasks are retried (``--retries``/``--timeout``), recoveries are
@@ -193,7 +196,55 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="list the registered rule ids and exit",
     )
+    _add_format_options(lint)
+
+    verify = sub.add_parser(
+        "verify-trace",
+        help="statically verify FHE schedules (abstract interpretation)",
+    )
+    verify.add_argument(
+        "paths", nargs="*", metavar="TRACE.json",
+        help="trace files (HeTrace JSON, single object or list); default: "
+             "the bundled paper workload traces",
+    )
+    verify.add_argument(
+        "--schemes", nargs="+", default=("bitpacker", "rns-ckks"),
+        choices=["bitpacker", "rns-ckks"], metavar="SCHEME",
+        help="schedules to generate for the bundled workloads "
+             "(default: both)",
+    )
+    verify.add_argument(
+        "--word", type=int, default=28, metavar="BITS",
+        help="hardware word size for the bundled workloads and the "
+             "slack-bits diagnostic (default: 28)",
+    )
+    verify.add_argument(
+        "--waste", action="store_true",
+        help="also report waste diagnostics (elidable rescales/adjusts, "
+             "slack bits) — never affects the exit code",
+    )
+    verify.add_argument(
+        "--suppress", nargs="+", default=(), metavar="RULE",
+        help="drop findings with these rule ids",
+    )
+    verify.add_argument(
+        "--list-rules", action="store_true",
+        help="list the verifier's rule ids and exit",
+    )
+    _add_format_options(verify)
     return parser
+
+
+def _add_format_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        dest="format", metavar="FMT",
+        help="report format: text (default), json, or sarif",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
 
 
 def _cmd_plan(args) -> int:
@@ -544,11 +595,27 @@ def _cmd_backends(_args) -> int:
     return 0
 
 
+def _emit_report(args, findings, rule_docs) -> None:
+    """Render findings per ``--format`` to stdout or ``--output``."""
+    from repro.analysis.report import render_findings
+
+    text = render_findings(findings, args.format, rule_docs)
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        _write_text_atomic(out, text if text.endswith("\n") else text + "\n")
+        print(
+            f"wrote {len(findings)} finding(s) [{args.format}] -> {out}",
+            file=sys.stderr,
+        )
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import (
         all_passes,
         check_traces,
-        render_report,
         run_lint,
         workload_traces,
     )
@@ -564,10 +631,80 @@ def _cmd_lint(args) -> int:
 
         paths = [str(Path(repro.__file__).resolve().parent)]
     findings = run_lint(paths, rules=args.rules)
+    rule_docs = {p.rule: p.description for p in all_passes()}
     if args.traces:
+        from repro.analysis.absint import VIOLATION_RULES
+
         findings = findings + check_traces(workload_traces())
-    print(render_report(findings))
+        rule_docs.update(VIOLATION_RULES)
+    _emit_report(args, findings, rule_docs)
     return 1 if findings else 0
+
+
+def _load_trace_file(path: Path):
+    """HeTrace objects from one JSON file (single object or list)."""
+    import json
+
+    from repro.trace.program import HeTrace
+
+    data = json.loads(path.read_text())
+    entries = data if isinstance(data, list) else [data]
+    return [HeTrace.from_dict(entry) for entry in entries]
+
+
+def _cmd_verify_trace(args) -> int:
+    from repro.analysis.absint import (
+        VIOLATION_RULES,
+        WASTE_RULES,
+        verify_trace,
+    )
+    from repro.errors import ReproError
+
+    if args.list_rules:
+        for rule, doc in {**VIOLATION_RULES, **WASTE_RULES}.items():
+            print(f"{rule:26s} {doc}")
+        return 0
+    try:
+        if args.paths:
+            traces = []
+            for raw in args.paths:
+                traces.extend(_load_trace_file(Path(raw)))
+        else:
+            from repro.analysis import workload_traces
+
+            traces = workload_traces(
+                schemes=tuple(args.schemes), word_bits=args.word
+            )
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    violations = []
+    reported = []
+    for trace in traces:
+        result = verify_trace(
+            trace, word_bits=args.word, ignore=tuple(args.suppress)
+        )
+        violations.extend(result.findings)
+        reported.extend(result.findings)
+        if args.waste:
+            reported.extend(result.waste)
+        status = "FAIL" if result.findings else "ok"
+        extras = f", {len(result.waste)} waste" if args.waste else ""
+        print(
+            f"[verify-trace] {status:4s} {trace.name}: "
+            f"{len(result.findings)} violation(s){extras}, "
+            f"{result.bootstraps} bootstrap(s), "
+            f"noise margin {result.min_noise_margin_bits:.1f} bits",
+            file=sys.stderr,
+        )
+    rule_docs = {**VIOLATION_RULES, **(WASTE_RULES if args.waste else {})}
+    _emit_report(args, reported, rule_docs)
+    print(
+        f"[verify-trace] {len(traces)} trace(s), "
+        f"{len(violations)} violation(s)",
+        file=sys.stderr,
+    )
+    return 1 if violations else 0
 
 
 _COMMANDS: dict[str, Callable] = {
@@ -579,6 +716,7 @@ _COMMANDS: dict[str, Callable] = {
     "list-figures": _cmd_list_figures,
     "backends": _cmd_backends,
     "lint": _cmd_lint,
+    "verify-trace": _cmd_verify_trace,
 }
 
 

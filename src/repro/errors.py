@@ -55,6 +55,16 @@ class RunnerError(ReproError):
     """
 
 
+class ScheduleViolationError(ReproError):
+    """A trace failed static schedule verification.
+
+    Raised by :func:`repro.analysis.absint.verify_or_raise` — the
+    pre-flight gate the eval harnesses run before pricing a trace.  A
+    deterministic :class:`ReproError`, so the experiment runner reports
+    it instead of retrying.
+    """
+
+
 class InvariantViolation(ReproError):
     """A runtime sanitizer check failed (see :mod:`repro.analysis.sanitize`).
 

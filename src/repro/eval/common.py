@@ -26,6 +26,7 @@ from typing import Iterable, Sequence
 
 from repro.accel.config import craterlake
 from repro.accel.sim import AcceleratorSim, SimResult
+from repro.analysis.absint import verify_or_raise
 from repro.cpu.model import DEFAULT_CPU_MODEL, CpuResult
 from repro.errors import ParameterError
 from repro.eval import runner
@@ -217,6 +218,7 @@ def _simulate(
     sim = AcceleratorSim(config)
     trace = trace_for(app, bs, scheme, word_bits, n, max_log_q, ks_digits)
     chain = chain_for(app, bs, scheme, word_bits, ks_digits, n, max_log_q)
+    _verify_schedule(trace)
     return sim.run(trace, chain)
 
 
@@ -235,13 +237,43 @@ def simulate_cpu(
     }
     return runner.cached(
         "simulate-cpu", params,
-        compute=lambda: DEFAULT_CPU_MODEL.run(
-            trace_for(app, bs, scheme, word_bits, ks_digits=ks_digits),
-            chain_for(app, bs, scheme, word_bits, ks_digits),
-        ),
+        compute=lambda: _simulate_cpu(app, bs, scheme, word_bits, ks_digits),
         encode=CpuResult.to_dict,
         decode=CpuResult.from_dict,
     )
+
+
+def _simulate_cpu(
+    app: str, bs: str, scheme: str, word_bits: int, ks_digits: int
+) -> CpuResult:
+    trace = trace_for(app, bs, scheme, word_bits, ks_digits=ks_digits)
+    _verify_schedule(trace)
+    return DEFAULT_CPU_MODEL.run(
+        trace, chain_for(app, bs, scheme, word_bits, ks_digits)
+    )
+
+
+#: Traces that already passed the gate, keyed by object identity (the
+#: value pins the object so its id cannot be recycled).  ``trace_for``'s
+#: lru_cache hands back the same object per parameterization, so one
+#: sweep verifies each schedule once however many machine variants
+#: price it.
+_VERIFIED_SCHEDULES: dict[int, HeTrace] = {}
+
+
+def _verify_schedule(trace: HeTrace) -> None:
+    """The pre-flight gate: no trace is priced before it verifies.
+
+    Raises :class:`~repro.errors.ScheduleViolationError` (deterministic,
+    never retried by map_grid) if the abstract interpreter finds a
+    schedule bug.  The verdict is a pure function of the trace.
+    """
+    if _VERIFIED_SCHEDULES.get(id(trace)) is trace:
+        return
+    verify_or_raise(trace)
+    if len(_VERIFIED_SCHEDULES) >= TRACE_CACHE_SIZE:
+        _VERIFIED_SCHEDULES.clear()
+    _VERIFIED_SCHEDULES[id(trace)] = trace
 
 
 #: The in-process cache layer, by artifact kind (the profile exporter's

@@ -9,4 +9,22 @@ benchmark.
 
 from repro.trace.program import HeTrace, OpKind, TraceBuilder, TraceOp
 
-__all__ = ["HeTrace", "OpKind", "TraceOp", "TraceBuilder"]
+__all__ = [
+    "HeTrace",
+    "OpKind",
+    "TraceOp",
+    "TraceBuilder",
+    "TraceExecutor",
+    "execute_trace",
+]
+
+
+def __getattr__(name: str):
+    # The executor drags in the full CKKS stack (which itself imports
+    # repro.analysis for the sanitizer), so it is resolved lazily to
+    # keep ``repro.trace`` importable from anywhere in that stack.
+    if name in ("TraceExecutor", "execute_trace"):
+        from repro.trace import execute
+
+        return getattr(execute, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,10 +1,13 @@
 """fhelint tests: every pass catches its seeded fixture and stays quiet
 on clean code, pragmas suppress, and the repo itself lints clean."""
 
+import ast
+import json
 import textwrap
 
 import pytest
 
+from repro.analysis import taint
 from repro.analysis.core import (
     SourceModule,
     lint_source,
@@ -474,4 +477,446 @@ class TestLintCli:
         assert rc == 0
         out = capsys.readouterr().out
         for rule in ("overflow-hazard", "dtype-routing", "exception-hygiene"):
+            assert rule in out
+
+
+class TestForkSafetyPass:
+    def test_lambda_task_flagged(self):
+        findings = lint_str(
+            """
+            from repro.eval.runner import map_grid
+
+            def run(xs):
+                return map_grid(lambda x: x + 1, xs)
+            """,
+            ["fork-safety"],
+        )
+        assert [f.rule for f in findings] == ["fork-safety"]
+        assert "pickled" in findings[0].message
+
+    def test_nested_def_task_flagged(self):
+        findings = lint_str(
+            """
+            from repro.eval.runner import map_grid
+
+            def run(xs):
+                def task(x):
+                    return x + 1
+                return map_grid(task, xs)
+            """,
+            ["fork-safety"],
+        )
+        assert len(findings) == 1
+        assert "closure" in findings[0].message
+
+    def test_global_rebind_inside_task_flagged(self):
+        findings = lint_str(
+            """
+            from repro.eval.runner import map_grid
+
+            COUNT = 0
+
+            def task(x):
+                global COUNT
+                COUNT += 1
+                return x
+
+            def run(xs):
+                return map_grid(task, xs)
+            """,
+            ["fork-safety"],
+        )
+        assert len(findings) == 1
+        assert "COUNT" in findings[0].message
+        assert "worker" in findings[0].message
+
+    def test_container_mutation_inside_task_flagged(self):
+        findings = lint_str(
+            """
+            from repro.eval.runner import map_grid
+
+            RESULTS = []
+
+            def task(x):
+                RESULTS.append(x)
+                return x
+
+            def run(xs):
+                return map_grid(task, xs)
+            """,
+            ["fork-safety"],
+        )
+        assert len(findings) == 1
+
+    def test_subscript_write_to_global_flagged(self):
+        findings = lint_str(
+            """
+            from repro.eval.runner import map_grid
+
+            CACHE = {}
+
+            def task(x):
+                CACHE[x] = x * 2
+                return x
+
+            def run(xs):
+                return map_grid(func=task, grid=xs)
+            """,
+            ["fork-safety"],
+        )
+        assert len(findings) == 1
+
+    def test_unpicklable_global_reference_flagged(self):
+        findings = lint_str(
+            """
+            import threading
+
+            from repro.eval.runner import map_grid
+
+            LOCK = threading.Lock()
+
+            def task(x):
+                with LOCK:
+                    return x
+
+            def run(xs):
+                return map_grid(task, xs)
+            """,
+            ["fork-safety"],
+        )
+        assert len(findings) == 1
+        assert "LOCK" in findings[0].message
+
+    def test_local_shadowing_is_clean(self):
+        findings = lint_str(
+            """
+            from repro.eval.runner import map_grid
+
+            RESULTS = []
+
+            def task(x):
+                RESULTS = []
+                RESULTS.append(x)
+                return RESULTS
+
+            def run(xs):
+                return map_grid(task, xs)
+            """,
+            ["fork-safety"],
+        )
+        assert findings == []
+
+    def test_clean_module_level_task_is_quiet(self):
+        findings = lint_str(
+            """
+            from repro.eval.runner import map_grid
+
+            def task(x):
+                acc = []
+                acc.append(x * 2)
+                return sum(acc)
+
+            def run(xs):
+                return map_grid(task, xs)
+            """,
+            ["fork-safety"],
+        )
+        assert findings == []
+
+    def test_imported_task_is_out_of_jurisdiction(self):
+        findings = lint_str(
+            """
+            from repro.eval.runner import map_grid
+            from somewhere import task
+
+            def run(xs):
+                return map_grid(task, xs)
+            """,
+            ["fork-safety"],
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = lint_str(
+            """
+            from repro.eval.runner import map_grid
+
+            def run(xs):
+                return map_grid(lambda x: x, xs)  # fhelint: ok[fork-safety]
+            """,
+            ["fork-safety"],
+        )
+        assert findings == []
+
+
+class TestPragmaContinuation:
+    """Pragmas anywhere in a multi-line statement suppress findings on
+    any of its lines (regression: only the flagged node's own lines
+    used to be scanned)."""
+
+    def test_pragma_on_later_line_covers_node_on_first(self):
+        findings = lint_str(
+            """
+            import numpy as np
+
+            def f(a: np.ndarray, b: np.ndarray, q):
+                return (a * b
+                        % q)  # fhelint: ok[overflow-hazard] both < 2^31
+            """,
+            ["overflow-hazard"],
+        )
+        assert findings == []
+
+    def test_pragma_on_first_line_covers_node_on_later(self):
+        findings = lint_str(
+            """
+            import numpy as np
+
+            def f(a: np.ndarray, b: np.ndarray, q):
+                return (  # fhelint: ok[overflow-hazard] both < 2^31
+                    a * b % q
+                )
+            """,
+            ["overflow-hazard"],
+        )
+        assert findings == []
+
+    def test_unsuppressed_multiline_still_fires(self):
+        findings = lint_str(
+            """
+            import numpy as np
+
+            def f(a: np.ndarray, b: np.ndarray, q):
+                return (a * b
+                        % q)
+            """,
+            ["overflow-hazard"],
+        )
+        assert len(findings) == 1
+
+    def test_pragma_in_adjacent_statement_does_not_leak(self):
+        findings = lint_str(
+            """
+            import numpy as np
+
+            def f(a: np.ndarray, b: np.ndarray, q):
+                safe = q  # fhelint: ok[overflow-hazard]
+                return a * b % safe
+            """,
+            ["overflow-hazard"],
+        )
+        assert len(findings) == 1
+
+
+def taint_env(source):
+    tree = ast.parse(textwrap.dedent(source))
+    func = next(
+        node for node in tree.body if isinstance(node, ast.FunctionDef)
+    )
+    return taint.FunctionTaint(func)
+
+
+class TestTaintEdges:
+    def test_augmented_assignment_keeps_target_taint(self):
+        ft = taint_env(
+            """
+            def f():
+                x = np.zeros(4, dtype=np.uint64)
+                x += 1
+            """
+        )
+        assert taint.ARR_U64 in ft.env["x"]
+
+    def test_augmented_assignment_taints_from_value(self):
+        ft = taint_env(
+            """
+            def f():
+                y = 1
+                y += np.uint64(3)
+            """
+        )
+        assert taint.SCALAR_U64 in ft.env["y"]
+
+    def test_walrus_target_is_bound(self):
+        ft = taint_env(
+            """
+            def f():
+                if (z := np.zeros(4, dtype=np.uint64)).any():
+                    return z
+            """
+        )
+        assert taint.ARR_U64 in ft.env["z"]
+
+    def test_tuple_unpacking_binds_element_wise(self):
+        ft = taint_env(
+            """
+            def f():
+                a, b = np.zeros(3, dtype=np.uint64), [1]
+            """
+        )
+        assert taint.ARR_U64 in ft.env["a"]
+        assert taint.ARR_U64 not in ft.env.get("b", set())
+
+    def test_tuple_unpacking_from_scalar_value_is_conservative(self):
+        ft = taint_env(
+            """
+            def f():
+                pair = np.zeros(2, dtype=np.uint64)
+                c, d = pair
+            """
+        )
+        assert taint.ARR_U64 in ft.env["c"]
+        assert taint.ARR_U64 in ft.env["d"]
+
+    def test_starred_target_unwraps(self):
+        ft = taint_env(
+            """
+            def f():
+                head, *rest = np.zeros(4, dtype=np.uint64)
+            """
+        )
+        assert taint.ARR_U64 in ft.env["head"]
+        assert taint.ARR_U64 in ft.env["rest"]
+
+
+class TestReportFormats:
+    def _bad_file(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x):\n    assert x\n")
+        return bad
+
+    def test_lint_json_format(self, tmp_path, capsys):
+        rc = main(["lint", str(self._bad_file(tmp_path)), "--format", "json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["tool"] == "fhelint"
+        assert payload["summary"]["total"] == 1
+        assert payload["summary"]["by_rule"] == {"exception-hygiene": 1}
+        finding = payload["findings"][0]
+        assert finding["rule"] == "exception-hygiene"
+        assert finding["line"] == 2
+
+    def test_lint_sarif_output_file(self, tmp_path, capsys):
+        out = tmp_path / "lint.sarif"
+        rc = main(
+            [
+                "lint",
+                str(self._bad_file(tmp_path)),
+                "--format",
+                "sarif",
+                "--output",
+                str(out),
+            ]
+        )
+        assert rc == 1
+        doc = json.loads(out.read_text())
+        assert doc["version"] == "2.1.0"
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "fhelint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        results = doc["runs"][0]["results"]
+        assert results[0]["ruleId"] == "exception-hygiene"
+        assert rule_ids[results[0]["ruleIndex"]] == "exception-hygiene"
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        # Documented rules are listed even where no result references
+        # them, so the artifact records what the gate checked for.
+        assert "overflow-hazard" in rule_ids
+
+    def test_unknown_format_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["lint", str(tmp_path), "--format", "yaml"])
+
+
+class TestVerifyTraceCli:
+    def _write_trace(self, tmp_path, ops, name="cli-fixture"):
+        trace = HeTrace(
+            name=name,
+            n=1024,
+            base_bits=60.0,
+            level_scale_bits=(30.0, 30.0, 30.0, 30.0),
+            ops=ops,
+        )
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(trace.to_dict()))
+        return path
+
+    def test_clean_file_trace_exits_zero(self, tmp_path, capsys):
+        path = self._write_trace(
+            tmp_path,
+            [TraceOp(OpKind.HMUL, 2), TraceOp(OpKind.RESCALE, 2)],
+        )
+        rc = main(["verify-trace", str(path)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "fhelint: clean" in captured.out
+        assert "0 violation(s)" in captured.err
+
+    def test_violating_file_trace_exits_one(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path, [TraceOp(OpKind.RESCALE, 2)])
+        rc = main(["verify-trace", str(path), "--format", "json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["by_rule"] == {"trace-rescale-below-min": 1}
+        assert payload["findings"][0]["path"] == "trace:cli-fixture"
+
+    def test_suppress_flag_ignores_rule(self, tmp_path):
+        path = self._write_trace(tmp_path, [TraceOp(OpKind.RESCALE, 2)])
+        rc = main(
+            ["verify-trace", str(path), "--suppress", "trace-rescale-below-min"]
+        )
+        assert rc == 0
+
+    def test_waste_flag_reports_diagnostics(self, tmp_path, capsys):
+        path = self._write_trace(
+            tmp_path, [TraceOp(OpKind.ADJUST, 2, dst_level=1)]
+        )
+        assert main(["verify-trace", str(path)]) == 0
+        capsys.readouterr()  # drain the text run before parsing JSON
+        rc = main(["verify-trace", str(path), "--waste", "--format", "json"])
+        assert rc == 0  # waste is advisory, not a violation
+        payload = json.loads(capsys.readouterr().out)
+        assert "trace-elidable-adjust" in payload["summary"]["by_rule"]
+
+    def test_bundled_bitpacker_traces_certify(self, capsys):
+        rc = main(["verify-trace", "--schemes", "bitpacker"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "[verify-trace] ok" in err
+
+    def test_sarif_artifact(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path, [TraceOp(OpKind.HMUL, -1)])
+        out = tmp_path / "verify.sarif"
+        rc = main(
+            [
+                "verify-trace",
+                str(path),
+                "--format",
+                "sarif",
+                "--output",
+                str(out),
+            ]
+        )
+        assert rc == 1
+        doc = json.loads(out.read_text())
+        results = doc["runs"][0]["results"]
+        assert results[0]["ruleId"] == "trace-level-range"
+        # Op index 0 would be line 0; SARIF requires startLine >= 1.
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        rc = main(["verify-trace", str(tmp_path / "nope.json")])
+        assert rc == 2
+
+    def test_list_rules(self, capsys):
+        rc = main(["verify-trace", "--list-rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for rule in (
+            "trace-scale-overflow",
+            "trace-noise-exhausted",
+            "trace-elidable-rescale",
+        ):
             assert rule in out
