@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Load-vs-latency benchmark for the ``bitpacker-serve`` service.
+
+Sweeps *offered load* against one service configuration and records how
+the admission/batching pipeline responds.  Offered load is varied two
+ways, matching how a real endpoint saturates:
+
+- **arrival-rate sweep** — fixed request count, shrinking mean
+  burst gap (``--gaps``), i.e. the same work offered faster and
+  faster until the flood point (gap 0);
+- **concurrency sweep** — flood arrivals with growing request
+  counts, which drives queue depth and therefore batching and,
+  eventually, backpressure.
+
+Each point runs one full :func:`repro.serve.loadgen.run_scenario` with
+a deterministic seed (the per-point seed is derived from ``--seed`` and
+the point index, so the whole sweep is reproducible run to run) and the
+byte-for-byte response audit enabled: a benchmark run that corrupts or
+drops a single response fails loudly rather than publishing numbers.
+
+Per point the record carries offered load (requests, burst, gap),
+delivered throughput (req/s), latency p50/p99/max (ms), admission
+accounting (admitted/rejected/failed), and batching effectiveness
+(mean/max coalesced batch size).  Results go to ``BENCH_serve.json`` at
+the repo root (or ``--out``) and are printed as a table.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py           # full sweep
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_serve.py --out results/serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+from repro.serve.loadgen import LoadSpec, run_scenario
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: (label, requests, burst, burst_gap_s) — offered load grows downward.
+FULL_POINTS = (
+    ("trickle", 160, 4, 0.020),
+    ("steady", 160, 8, 0.010),
+    ("fast", 160, 8, 0.004),
+    ("near-flood", 160, 8, 0.001),
+    ("flood-160", 160, 8, 0.0),
+    ("flood-320", 320, 8, 0.0),
+    ("flood-640", 640, 8, 0.0),
+)
+
+QUICK_POINTS = (
+    ("steady", 64, 8, 0.005),
+    ("flood-64", 64, 8, 0.0),
+    ("flood-160", 160, 8, 0.0),
+)
+
+
+def run_point(label: str, requests: int, burst: int, gap_s: float,
+              args: argparse.Namespace, index: int) -> dict:
+    spec = LoadSpec(
+        seed=(args.seed << 8) ^ index,
+        tenants=args.tenants,
+        requests=requests,
+        burst=burst,
+        burst_gap_s=gap_s,
+        n=args.n,
+    )
+    report = asyncio.run(run_scenario(
+        spec,
+        shards=args.shards,
+        queue_depth=args.queue_depth,
+        max_batch=args.max_batch,
+    ))
+    if report.dropped or report.corrupted:
+        raise SystemExit(
+            f"[bench-serve] point {label!r}: {report.dropped} dropped, "
+            f"{report.corrupted} corrupted — refusing to publish"
+        )
+    offered_rps = (
+        requests / report.wall_s if report.wall_s > 0 else 0.0
+    )
+    return {
+        "point": label,
+        "requests": requests,
+        "burst": burst,
+        "burst_gap_s": gap_s,
+        "seed": spec.seed,
+        "offered_rps": offered_rps,
+        "throughput_rps": report.throughput_rps,
+        "p50_latency_ms": report.latency_percentile(50) * 1e3,
+        "p99_latency_ms": report.latency_percentile(99) * 1e3,
+        "max_latency_ms": (
+            max(report.latencies_s) * 1e3 if report.latencies_s else 0.0
+        ),
+        "admitted": report.admitted,
+        "rejected": report.rejected,
+        "failed": report.failed,
+        "reject_fraction": report.rejected / report.submitted,
+        "mean_batch_size": (
+            sum(report.batch_sizes) / len(report.batch_sizes)
+            if report.batch_sizes else 0.0
+        ),
+        "max_batch_size": max(report.batch_sizes, default=0),
+        "wall_s": report.wall_s,
+    }
+
+
+def render_table(records: list[dict]) -> str:
+    header = (
+        f"{'point':<12} {'reqs':>5} {'gap_ms':>7} {'offered':>8} "
+        f"{'served':>8} {'p50ms':>7} {'p99ms':>7} {'rej%':>6} "
+        f"{'batch':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in records:
+        lines.append(
+            f"{r['point']:<12} {r['requests']:>5} "
+            f"{r['burst_gap_s'] * 1e3:>7.1f} {r['offered_rps']:>8.0f} "
+            f"{r['throughput_rps']:>8.0f} {r['p50_latency_ms']:>7.2f} "
+            f"{r['p99_latency_ms']:>7.2f} "
+            f"{100 * r['reject_fraction']:>6.1f} "
+            f"{r['mean_batch_size']:>6.2f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="offered-load sweep for bitpacker-serve"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small sweep for CI smoke")
+    parser.add_argument("--seed", type=int, default=0xB17)
+    parser.add_argument("--tenants", type=int, default=6)
+    parser.add_argument("--n", type=int, default=64)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--queue-depth", type=int, default=64)
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="output path (default: BENCH_serve.json, "
+                             "or BENCH_serve.quick.json with --quick)")
+    args = parser.parse_args(argv)
+
+    points = QUICK_POINTS if args.quick else FULL_POINTS
+    records = []
+    for index, (label, requests, burst, gap_s) in enumerate(points):
+        print(f"[bench-serve] {label}: {requests} requests, "
+              f"gap {gap_s * 1e3:g}ms ...", file=sys.stderr)
+        records.append(run_point(label, requests, burst, gap_s, args, index))
+
+    default_name = (
+        "BENCH_serve.quick.json" if args.quick else "BENCH_serve.json"
+    )
+    out = Path(args.out) if args.out else REPO_ROOT / default_name
+    out.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "benchmark": "serve",
+        "seed": args.seed,
+        "tenants": args.tenants,
+        "n": args.n,
+        "shards": args.shards,
+        "queue_depth": args.queue_depth,
+        "max_batch": args.max_batch,
+        "quick": args.quick,
+        "points": records,
+    }
+    out.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    print(render_table(records))
+    print(f"[bench-serve] wrote {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

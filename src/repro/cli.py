@@ -20,6 +20,7 @@ Usage (``python -m repro ...``)::
     python -m repro lint --format sarif --output fhelint.sarif
     python -m repro verify-trace --waste
     python -m repro verify-trace my_schedule.json --format json
+    python -m repro serve --tenants 8 --requests 400 --json serve.json
 
 ``figure`` treats sweeps as restartable batch jobs: worker crashes and
 hung tasks are retried (``--retries``/``--timeout``), recoveries are
@@ -232,6 +233,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list the verifier's rule ids and exit",
     )
     _add_format_options(verify)
+
+    serve = sub.add_parser(
+        "serve",
+        help="boot the async multi-tenant service and drive seeded load "
+             "(all arguments forwarded to bitpacker-serve)",
+        add_help=False,
+    )
+    serve.add_argument("serve_args", nargs=argparse.REMAINDER, metavar="ARGS")
     return parser
 
 
@@ -707,6 +716,12 @@ def _cmd_verify_trace(args) -> int:
     return 1 if violations else 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve.cli import main as serve_main
+
+    return serve_main(args.serve_args)
+
+
 _COMMANDS: dict[str, Callable] = {
     "plan": _cmd_plan,
     "compare": _cmd_compare,
@@ -717,10 +732,19 @@ _COMMANDS: dict[str, Callable] = {
     "backends": _cmd_backends,
     "lint": _cmd_lint,
     "verify-trace": _cmd_verify_trace,
+    "serve": _cmd_serve,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # argparse's REMAINDER chokes on forwarded flags (bpo-17050), so the
+    # serve passthrough is dispatched before the parse.
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     args = _build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

@@ -46,6 +46,7 @@ import heapq
 import json
 import os
 import tempfile
+import threading
 import time
 from collections import deque
 from concurrent.futures import (
@@ -419,12 +420,29 @@ class RunEvent:
 
 
 _EVENTS: list[RunEvent] = []
+#: Guards the module event log.  Concurrent runners (the serve layer
+#: drives map_grid from worker threads) append while another drains;
+#: without the lock an event appended between ``list(_EVENTS)`` and
+#: ``_EVENTS.clear()`` would be silently dropped, and two simultaneous
+#: drains could hand the same event to both callers.
+_EVENTS_LOCK = threading.Lock()
+
+
+def record_event(event: RunEvent) -> None:
+    """Append one event to the module log (lock-protected)."""
+    with _EVENTS_LOCK:
+        _EVENTS.append(event)
 
 
 def take_events() -> list[RunEvent]:
-    """Drain the recovery events recorded since the last call."""
-    events = list(_EVENTS)
-    _EVENTS.clear()
+    """Drain the recovery events recorded since the last call.
+
+    Atomic with respect to producers: every recorded event is returned
+    by exactly one drain.
+    """
+    with _EVENTS_LOCK:
+        events = list(_EVENTS)
+        _EVENTS.clear()
     return events
 
 
@@ -562,7 +580,7 @@ class _GridRun:
             kind=kind, task=task, attempt=attempt, error=error,
             latency=latency,
         )
-        _EVENTS.append(event)
+        record_event(event)
         if self.sink is not None:
             self.sink.append(event)
         if _obs.ACTIVE:

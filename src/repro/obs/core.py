@@ -5,10 +5,14 @@ to the runtime sanitizer (DESIGN.md Sec. 7) and the fault injector
 (Sec. 9), and follows the same activation pattern: hook sites in hot
 code guard with ``if core.ACTIVE:`` — one module-attribute read and a
 branch when profiling is off, no allocation, no function call.  The
-recorder itself is deliberately simple (plain dicts, a single span
-stack) because everything it measures is process-local: parallel
-``map_grid`` workers do not record here, the runner synthesizes their
-task spans parent-side from measured latencies (DESIGN.md Sec. 10).
+recorder is process-local (parallel ``map_grid`` workers do not record
+here; the runner synthesizes their task spans parent-side from measured
+latencies, DESIGN.md Sec. 10) but it is **concurrency-safe within the
+process**: the open-span chain lives in a ``contextvars.ContextVar``,
+so interleaved asyncio tasks (the serve layer, DESIGN.md Sec. 13) and
+threads each build their own correctly-nested tree, and the shared
+sinks (finished roots, counters, histograms) are lock-protected so no
+increment or span is lost when recorders race.
 
 Three primitives:
 
@@ -27,7 +31,9 @@ Nothing here imports numpy or the RNS/CKKS stack, so the hook sites in
 
 from __future__ import annotations
 
+import threading
 import time
+from contextvars import ContextVar
 
 try:  # pragma: no cover - resource is POSIX-only
     import resource
@@ -78,11 +84,19 @@ class Span:
     the process's RSS high-water mark across the span — zero unless the
     span pushed a new peak, which is exactly the allocation signal a
     sweep profile needs.
+
+    Nesting is tracked through a ``ContextVar`` holding the innermost
+    open span, not a module-global stack: an asyncio task created while
+    a span is open inherits that span as its parent (its spans become
+    children), but spans it opens itself never leak into sibling tasks'
+    chains — two concurrent tasks build two independent, correctly
+    nested trees (the regression contract in
+    ``test_obs_concurrency.py``).
     """
 
     __slots__ = (
         "name", "tags", "t0", "wall_s", "cpu_s", "rss_peak_delta_kb",
-        "children", "_cpu0", "_rss0",
+        "children", "_cpu0", "_rss0", "_parent", "_token",
     )
 
     def __init__(self, name: str, tags: dict):
@@ -95,29 +109,38 @@ class Span:
         self.children: list[Span] = []
         self._cpu0 = 0.0
         self._rss0 = 0
+        self._parent: Span | None = None
+        self._token = None
 
     # -- context-manager protocol --------------------------------------
     def __enter__(self) -> "Span":
         self.t0 = time.perf_counter()
         self._cpu0 = time.process_time()
         self._rss0 = _peak_rss_kb()
-        _STACK.append(self)
+        self._parent = _CURRENT.get()
+        self._token = _CURRENT.set(self)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.wall_s = time.perf_counter() - self.t0
         self.cpu_s = time.process_time() - self._cpu0
         self.rss_peak_delta_kb = max(0, _peak_rss_kb() - self._rss0)
-        # Unwind to this span even if an inner span leaked (an exception
-        # path that skipped an __exit__ cannot corrupt the tree shape).
-        while _STACK and _STACK[-1] is not self:
-            _STACK.pop()
-        if _STACK:
-            _STACK.pop()
-        if _STACK:
-            _STACK[-1].children.append(self)
+        # Token reset restores the chain to this span's parent even if
+        # an inner span leaked (an exception path that skipped an
+        # __exit__ cannot corrupt the tree shape).
+        if self._token is not None:
+            try:
+                _CURRENT.reset(self._token)
+            except ValueError:  # exited in a different context: detach
+                _CURRENT.set(self._parent)
+            self._token = None
+        parent = self._parent
+        if parent is not None:
+            with _TREE_LOCK:
+                parent.children.append(self)
         else:
-            _ROOTS.append(self)
+            with _TREE_LOCK:
+                _ROOTS.append(self)
         return False
 
 
@@ -135,7 +158,15 @@ class _NullSpan:
 
 NULL_SPAN = _NullSpan()
 
-_STACK: list[Span] = []
+#: The innermost open span of the *current* execution context.  Each
+#: asyncio task / thread sees its own chain (tasks inherit the value
+#: their creator had at spawn time, so their spans parent correctly).
+_CURRENT: ContextVar[Span | None] = ContextVar("repro_obs_current", default=None)
+#: Guards the shared mutable sinks: finished roots and the children
+#: lists of spans that concurrent recorders may both close into.
+_TREE_LOCK = threading.Lock()
+#: Guards counter/histogram mutation (read-modify-write sequences).
+_METRICS_LOCK = threading.Lock()
 _ROOTS: list[Span] = []
 #: Epoch for exporters: every span's ``t0`` is reported relative to it.
 _EPOCH = time.perf_counter()
@@ -169,22 +200,26 @@ def attach_span(
     child.t0 = now() if t0 is None else t0
     child.wall_s = wall_s
     child.cpu_s = cpu_s
-    if _STACK:
-        _STACK[-1].children.append(child)
+    parent = _CURRENT.get()
+    if parent is not None:
+        with _TREE_LOCK:
+            parent.children.append(child)
     else:
-        _ROOTS.append(child)
+        with _TREE_LOCK:
+            _ROOTS.append(child)
     return child
 
 
 def current_span() -> Span | None:
-    """The innermost open span (``None`` outside any span)."""
-    return _STACK[-1] if _STACK else None
+    """The innermost open span of this context (``None`` outside any)."""
+    return _CURRENT.get()
 
 
 def take_roots() -> list[Span]:
     """Drain the finished top-level spans recorded since the last call."""
-    roots = list(_ROOTS)
-    _ROOTS.clear()
+    with _TREE_LOCK:
+        roots = list(_ROOTS)
+        _ROOTS.clear()
     return roots
 
 
@@ -200,45 +235,57 @@ _HISTOGRAMS: dict[str, dict[str, float]] = {}
 
 
 def count(name: str, n: float = 1) -> None:
-    """Add ``n`` to counter ``name`` (creating it at zero)."""
-    _COUNTERS[name] = _COUNTERS.get(name, 0) + n
+    """Add ``n`` to counter ``name`` (creating it at zero).
+
+    The read-modify-write is lock-protected: concurrent serve workers
+    (threads driving kernel calls) must never lose an increment.
+    """
+    with _METRICS_LOCK:
+        _COUNTERS[name] = _COUNTERS.get(name, 0) + n
 
 
 def observe(name: str, value: float) -> None:
     """Record one sample of the scalar distribution ``name``."""
-    hist = _HISTOGRAMS.get(name)
-    if hist is None:
-        _HISTOGRAMS[name] = {
-            "count": 1, "sum": value, "min": value, "max": value,
-        }
-        return
-    hist["count"] += 1
-    hist["sum"] += value
-    if value < hist["min"]:
-        hist["min"] = value
-    if value > hist["max"]:
-        hist["max"] = value
+    with _METRICS_LOCK:
+        hist = _HISTOGRAMS.get(name)
+        if hist is None:
+            _HISTOGRAMS[name] = {
+                "count": 1, "sum": value, "min": value, "max": value,
+            }
+            return
+        hist["count"] += 1
+        hist["sum"] += value
+        if value < hist["min"]:
+            hist["min"] = value
+        if value > hist["max"]:
+            hist["max"] = value
 
 
 def counters() -> dict[str, float]:
     """Snapshot of every counter (a copy; safe to mutate)."""
-    return dict(_COUNTERS)
+    with _METRICS_LOCK:
+        return dict(_COUNTERS)
 
 
 def histograms() -> dict[str, dict[str, float]]:
     """Snapshot of every histogram summary (a deep copy)."""
-    return {name: dict(h) for name, h in _HISTOGRAMS.items()}
+    with _METRICS_LOCK:
+        return {name: dict(h) for name, h in _HISTOGRAMS.items()}
 
 
 def reset() -> None:
     """Drop all recorded spans and metrics; restart the profile epoch.
 
     Does not touch :data:`ACTIVE` — a profiling CLI run resets between
-    figures while staying enabled.
+    figures while staying enabled.  Only the *current* context's open
+    span is discarded; other tasks' open chains end naturally when
+    their spans exit (orphaned roots are then drained as usual).
     """
     global _EPOCH
-    _STACK.clear()
-    _ROOTS.clear()
-    _COUNTERS.clear()
-    _HISTOGRAMS.clear()
+    _CURRENT.set(None)
+    with _TREE_LOCK:
+        _ROOTS.clear()
+    with _METRICS_LOCK:
+        _COUNTERS.clear()
+        _HISTOGRAMS.clear()
     _EPOCH = time.perf_counter()

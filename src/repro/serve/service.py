@@ -1,0 +1,509 @@
+"""`bitpacker-serve`: the async multi-tenant encrypted-compute service.
+
+Composes the repo's batch pieces into a long-running system (ROADMAP's
+"single biggest step toward the north star"):
+
+admission -> verify gate -> per-shard queue -> batcher -> kernel call
+   |              |                |               |          |
+ 404/400/422   ScheduleViolation  429 past     coalesce     backend
+ on bad input  at the front door  high water   compatible   registry
+                                               ops
+
+- **Sessions** bind a tenant to a *verified* schedule and to shared
+  :class:`~repro.serve.keys.KeyMaterial`.  Registration runs every
+  trace through the PR-7 :func:`~repro.analysis.absint.verify_or_raise`
+  gate (content-keyed, single-flight memo), so a malformed schedule is
+  rejected before it can poison a batch.
+- **Sharding** routes a session by its key fingerprint: one key's
+  traffic serializes on one worker, which keeps its tables hot and
+  makes per-tenant ordering trivial.
+- **Backpressure**: shard queues are bounded; admission past the high
+  water mark returns a 429-class rejection immediately instead of
+  queuing unboundedly.  Rejected requests are never enqueued, so the
+  books balance: ``submitted == admitted + rejected`` and, after a
+  drain, ``admitted == completed + failed``.
+- **Batching**: each worker drains whatever is queued (up to
+  ``max_batch``), coalesces compatible ops
+  (:mod:`repro.serve.batch`), and dispatches matrix-at-a-time through
+  the backend registry.  Results are byte-identical to serial
+  execution — batching is a latency/throughput decision, never a
+  numerical one.
+- **Observability**: per-tenant counters and latency/batch-size
+  histograms ride :mod:`repro.obs` when profiling is enabled; the
+  service also keeps always-on local books (:meth:`BitPackerServe.stats`)
+  the smoke job asserts against.
+
+The service is single-event-loop: workers are asyncio tasks and the
+kernel calls run inline (they are short at service ring degrees and
+release little; a GPU/JIT backend slots in behind the same registry
+dispatch).  The concurrency-unsafe module globals this layer leans on
+(obs span chain and metrics, runner event log, the eval verify memo)
+were made task/thread-safe in the same PR (DESIGN.md Sec. 13).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.absint import verify_or_raise
+from repro.errors import InvariantViolation, ParameterError
+from repro.obs import core as _obs
+from repro.serve import batch as _batch
+from repro.serve.keys import KeyMaterial, KeyParams, KeyRegistry
+from repro.trace.program import HeTrace
+
+#: Default serve ring degree: big enough to exercise the batched
+#: kernels, small enough that a load test runs in seconds.
+DEFAULT_N = 64
+DEFAULT_WORD_BITS = 28
+
+#: Bound on the admitted-schedule memo (content digests are tiny; this
+#: only guards a pathological churn of unique schedules).
+_GATE_MEMO_LIMIT = 4096
+
+_GATE_LOCK = threading.Lock()
+_GATE_MEMO: set[str] = set()
+_GATE_INFLIGHT: dict[str, threading.Event] = {}
+
+
+def _trace_digest(trace: HeTrace) -> str:
+    blob = json.dumps(trace.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def verify_admitted_trace(trace: HeTrace) -> None:
+    """Front-door schedule gate, memoized by trace *content*.
+
+    Unlike the eval gate (which memoizes by object identity because its
+    lru_cache interns trace objects), serve sessions build fresh trace
+    objects per registration, so the memo keys on a digest of the
+    serialized trace.  Single-flight with tolerate-duplicate fallback,
+    same discipline as :func:`repro.eval.common._verify_schedule`.
+    """
+    digest = _trace_digest(trace)
+    while True:
+        with _GATE_LOCK:
+            if digest in _GATE_MEMO:
+                return
+            pending = _GATE_INFLIGHT.get(digest)
+            if pending is None:
+                _GATE_INFLIGHT[digest] = threading.Event()
+                break
+        pending.wait()
+        with _GATE_LOCK:
+            if digest in _GATE_MEMO:
+                return
+    try:
+        verify_or_raise(trace)
+        with _GATE_LOCK:
+            if len(_GATE_MEMO) >= _GATE_MEMO_LIMIT:
+                _GATE_MEMO.clear()
+            _GATE_MEMO.add(digest)
+    finally:
+        with _GATE_LOCK:
+            done = _GATE_INFLIGHT.pop(digest, None)
+        if done is not None:
+            done.set()
+
+
+@dataclass
+class TenantSession:
+    """One registered tenant: verified schedule + shared key material."""
+
+    tenant: str
+    trace: HeTrace
+    key: KeyMaterial
+    shard: int
+    #: Trace op indices a request may execute (payload-bearing kinds).
+    executable: tuple[int, ...]
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+
+    def op_for(self, op_index: int):
+        return self.trace.ops[op_index]
+
+
+@dataclass
+class ServeResponse:
+    """What a submitter gets back.  ``ok`` iff the op executed."""
+
+    status: str  # "ok" | "rejected" | "error"
+    code: int  # HTTP-style: 200, 400, 404, 422, 429, 500
+    tenant: str
+    op_index: int | None = None
+    result: np.ndarray | None = field(default=None, repr=False)
+    batch_size: int = 0
+    latency_s: float = 0.0
+    reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class BitPackerServe:
+    """The service.  Use as an async context manager::
+
+        async with BitPackerServe(shards=2) as serve:
+            serve.register("tenant-a", app="LogReg")
+            response = await serve.submit("tenant-a", op_index, a, b)
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        queue_depth: int = 64,
+        high_water: int | None = None,
+        max_batch: int = 16,
+        registry: KeyRegistry | None = None,
+    ):
+        if shards < 1:
+            raise ParameterError(f"shards must be >= 1, got {shards}")
+        if queue_depth < 1:
+            raise ParameterError(f"queue_depth must be >= 1, got {queue_depth}")
+        if max_batch < 1:
+            raise ParameterError(f"max_batch must be >= 1, got {max_batch}")
+        self.shards = shards
+        self.queue_depth = queue_depth
+        #: Admission rejects once a shard queue holds this many waiting
+        #: requests (<= queue_depth so enqueue never blocks the loop).
+        self.high_water = queue_depth if high_water is None else high_water
+        if not 1 <= self.high_water <= queue_depth:
+            raise ParameterError(
+                f"high_water must be in [1, queue_depth={queue_depth}], "
+                f"got {self.high_water}"
+            )
+        self.max_batch = max_batch
+        self.registry = registry if registry is not None else KeyRegistry()
+        self.sessions: dict[str, TenantSession] = {}
+        self._queues: list[asyncio.Queue] = []
+        self._workers: list[asyncio.Task] = []
+        self._seq = 0
+        self._running = False
+        # Always-on books (obs counters only record while profiling).
+        self.submitted = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch_seen = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._running:
+            return
+        self._queues = [
+            asyncio.Queue(maxsize=self.queue_depth) for _ in range(self.shards)
+        ]
+        self._workers = [
+            asyncio.create_task(self._worker(shard), name=f"serve-shard-{shard}")
+            for shard in range(self.shards)
+        ]
+        self._running = True
+
+    async def stop(self) -> None:
+        """Drain every queue, then stop the workers."""
+        if not self._running:
+            return
+        for queue in self._queues:
+            await queue.join()
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        self._queues = []
+        self._running = False
+
+    async def __aenter__(self) -> "BitPackerServe":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        await self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    # Registration (the front door's verify gate)
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        tenant: str,
+        *,
+        trace: HeTrace | None = None,
+        app: str | None = None,
+        bs: str = "BS19",
+        scheme: str = "bitpacker",
+        n: int = DEFAULT_N,
+        word_bits: int = DEFAULT_WORD_BITS,
+        ks_digits: int = 3,
+    ) -> TenantSession:
+        """Create a session: verify the schedule, bind key material.
+
+        ``trace`` may be given directly, or built from a bundled
+        workload (``app``/``bs``/``scheme``).  Raises
+        :class:`~repro.errors.ScheduleViolationError` when the schedule
+        fails the static gate — the request never reaches a queue.
+        """
+        if tenant in self.sessions:
+            raise ParameterError(f"tenant {tenant!r} is already registered")
+        if trace is None:
+            if app is None:
+                raise ParameterError("register needs a trace or an app name")
+            from repro.workloads.apps import BENCHMARKS
+            from repro.workloads.bootstrap_model import SCHEDULES
+
+            if app not in BENCHMARKS:
+                raise ParameterError(
+                    f"unknown app {app!r}; known: {', '.join(sorted(BENCHMARKS))}"
+                )
+            if bs not in SCHEDULES:
+                raise ParameterError(
+                    f"unknown bootstrap schedule {bs!r}; known: "
+                    f"{', '.join(sorted(SCHEDULES))}"
+                )
+            trace = BENCHMARKS[app](
+                SCHEDULES[bs], n=n, scheme=scheme, word_bits=word_bits,
+                ks_digits=ks_digits,
+            )
+        verify_admitted_trace(trace)
+        key = self.registry.get(
+            KeyParams(n=n, word_bits=word_bits, levels=trace.max_level)
+        )
+        executable = tuple(
+            index for index, op in enumerate(trace.ops)
+            if op.kind in _batch.EXECUTABLE_KINDS
+        )
+        session = TenantSession(
+            tenant=tenant,
+            trace=trace,
+            key=key,
+            shard=int(key.fingerprint, 16) % self.shards,
+            executable=executable,
+        )
+        self.sessions[tenant] = session
+        if _obs.ACTIVE:
+            _obs.count("serve.sessions")
+        return session
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _reject(
+        self, session: TenantSession | None, tenant: str, code: int,
+        reason: str, op_index: int | None = None,
+    ) -> ServeResponse:
+        self.rejected += 1
+        if session is not None:
+            session.rejected += 1
+        if _obs.ACTIVE:
+            _obs.count("serve.rejected")
+            _obs.count(f"serve.rejected.{code}")
+            _obs.count(f"serve.tenant.{tenant}.rejected")
+        return ServeResponse(
+            status="rejected", code=code, tenant=tenant,
+            op_index=op_index, reason=reason,
+        )
+
+    async def submit(
+        self, tenant: str, op_index: int, a: np.ndarray, b: np.ndarray
+    ) -> ServeResponse:
+        """Admit one ciphertext op and await its (possibly batched) result.
+
+        Admission failures resolve immediately with ``rejected``
+        responses and HTTP-style codes; admitted requests resolve when
+        their batch executes.
+        """
+        if not self._running:
+            raise ParameterError("service is not running (use `async with`)")
+        self.submitted += 1
+        if _obs.ACTIVE:
+            _obs.count("serve.submitted")
+        session = self.sessions.get(tenant)
+        if session is None:
+            return self._reject(None, tenant, 404, "unknown tenant")
+        session.submitted += 1
+        if not 0 <= op_index < len(session.trace.ops):
+            return self._reject(
+                session, tenant, 400,
+                f"op_index {op_index} outside trace "
+                f"[0, {len(session.trace.ops)})", op_index,
+            )
+        trace_op = session.op_for(op_index)
+        op = _batch.EXECUTABLE_KINDS.get(trace_op.kind)
+        if op is None:
+            return self._reject(
+                session, tenant, 400,
+                f"op kind {trace_op.kind.value!r} carries no request "
+                "payload (schedule-only)", op_index,
+            )
+        request = _batch.OpRequest(
+            tenant=tenant, key=session.key, op=op, level=trace_op.level,
+            a=a, b=b, seq=self._seq,
+        )
+        try:
+            _batch.validate_operands(request)
+        except ParameterError as exc:
+            return self._reject(session, tenant, 422, str(exc), op_index)
+        queue = self._queues[session.shard]
+        if queue.qsize() >= self.high_water:
+            return self._reject(
+                session, tenant, 429,
+                f"shard {session.shard} past high water "
+                f"({self.high_water} queued)", op_index,
+            )
+        self._seq += 1
+        self.admitted += 1
+        session.admitted += 1
+        if _obs.ACTIVE:
+            _obs.count("serve.admitted")
+            _obs.count(f"serve.tenant.{tenant}.admitted")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        request.context = (future, op_index, time.perf_counter())
+        queue.put_nowait(request)
+        return await future
+
+    # ------------------------------------------------------------------
+    # Shard workers
+    # ------------------------------------------------------------------
+    async def _worker(self, shard: int) -> None:
+        queue = self._queues[shard]
+        while True:
+            request = await queue.get()
+            run = [request]
+            while len(run) < self.max_batch:
+                try:
+                    run.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                for group in _batch.coalesce(run):
+                    self._execute(shard, group)
+            finally:
+                for _ in run:
+                    queue.task_done()
+
+    def _execute(self, shard: int, group: list[_batch.OpRequest]) -> None:
+        """Run one coalesced group and resolve its futures."""
+        self.batches += 1
+        self.batched_requests += len(group)
+        self.max_batch_seen = max(self.max_batch_seen, len(group))
+        if _obs.ACTIVE:
+            _obs.count("serve.batches")
+            _obs.observe("serve.batch_size", len(group))
+        try:
+            if _obs.ACTIVE:
+                with _obs.span(
+                    "serve/batch", shard=shard, op=group[0].op,
+                    level=group[0].level, size=len(group),
+                ):
+                    results = _batch.execute_group(group)
+            else:
+                results = _batch.execute_group(group)
+        except Exception as exc:  # kernel failure: fail the whole group
+            done = time.perf_counter()
+            for request in group:
+                future, op_index, t0 = request.context
+                self.failed += 1
+                self.sessions[request.tenant].failed += 1
+                if _obs.ACTIVE:
+                    _obs.count("serve.failed")
+                    _obs.count(f"serve.tenant.{request.tenant}.failed")
+                if not future.done():
+                    future.set_result(ServeResponse(
+                        status="error", code=500, tenant=request.tenant,
+                        op_index=op_index, batch_size=len(group),
+                        latency_s=done - t0,
+                        reason=f"{type(exc).__name__}: {exc}",
+                    ))
+            return
+        done = time.perf_counter()
+        for request, result in zip(group, results):
+            future, op_index, t0 = request.context
+            latency = done - t0
+            self.completed += 1
+            session = self.sessions[request.tenant]
+            session.completed += 1
+            if _obs.ACTIVE:
+                _obs.count("serve.completed")
+                _obs.count(f"serve.tenant.{request.tenant}.completed")
+                _obs.observe("serve.latency_seconds", latency)
+                _obs.observe(f"serve.tenant.{request.tenant}.latency_seconds",
+                             latency)
+            if not future.done():
+                future.set_result(ServeResponse(
+                    status="ok", code=200, tenant=request.tenant,
+                    op_index=op_index, result=result,
+                    batch_size=len(group), latency_s=latency,
+                ))
+
+    # ------------------------------------------------------------------
+    # Books
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The service's always-on accounting, consistency-checkable:
+        ``submitted == admitted + rejected`` always, and after a drain
+        ``admitted == completed + failed``."""
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "max_batch_seen": self.max_batch_seen,
+            "mean_batch_size": (
+                self.batched_requests / self.batches if self.batches else 0.0
+            ),
+            "keys_built": self.registry.built,
+            "keys_reused": self.registry.reused,
+            "tenants": {
+                name: {
+                    "submitted": s.submitted,
+                    "admitted": s.admitted,
+                    "rejected": s.rejected,
+                    "completed": s.completed,
+                    "failed": s.failed,
+                    "shard": s.shard,
+                    "key": s.key.fingerprint,
+                }
+                for name, s in sorted(self.sessions.items())
+            },
+        }
+
+    def check_books(self) -> None:
+        """Raise if the admission/completion ledgers do not balance."""
+        if self.submitted != self.admitted + self.rejected:
+            raise InvariantViolation(  # pragma: no cover - ledger bug
+                f"serve books broken: submitted={self.submitted} != "
+                f"admitted={self.admitted} + rejected={self.rejected}"
+            )
+        if self.admitted != self.completed + self.failed + sum(
+            queue.qsize() for queue in self._queues
+        ):
+            raise InvariantViolation(  # pragma: no cover - ledger bug
+                f"serve books broken: admitted={self.admitted} != "
+                f"completed={self.completed} + failed={self.failed} + queued"
+            )
+
+
+def _reset_gate_for_tests() -> None:
+    """Drop the admitted-schedule memo (test isolation)."""
+    with _GATE_LOCK:
+        _GATE_MEMO.clear()
+        _GATE_INFLIGHT.clear()

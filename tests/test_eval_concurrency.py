@@ -1,0 +1,164 @@
+"""Concurrency safety of the eval layer's module globals (PR-8 bugfix).
+
+Two latent races fixed alongside the serve layer, which is the first
+client to actually drive the runner and the verify gate from concurrent
+contexts:
+
+- the runner's module-level :class:`RunEvent` log was drained with an
+  unsynchronized ``list(...)`` + ``clear()`` against live producers, so
+  an event appended between the two was silently dropped and two
+  simultaneous drains could double-deliver;
+- the identity-memoized schedule-verify gate had a check-then-act race:
+  two sessions missing the memo at once both ran the (expensive) full
+  verification, and the unsynchronized dict/clear could lose entries.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.eval import common as eval_common
+from repro.eval import runner
+from repro.trace.program import HeTrace, OpKind, TraceOp
+
+
+@pytest.fixture(autouse=True)
+def _drained_log():
+    runner.take_events()
+    yield
+    runner.take_events()
+
+
+def clean_trace():
+    return HeTrace(
+        name="gate-fixture", n=64, base_bits=60.0,
+        level_scale_bits=(30.0, 30.0, 30.0),
+        ops=[
+            TraceOp(OpKind.HMUL, 2),
+            TraceOp(OpKind.RESCALE, 2),
+            TraceOp(OpKind.HADD, 1),
+        ],
+    )
+
+
+class TestEventLog:
+    def test_concurrent_drain_never_loses_or_duplicates(self):
+        """Satellite 2's regression: producers race a draining consumer.
+
+        Eight producer threads append uniquely-numbered events while a
+        consumer drains in a loop.  Every produced event must be seen by
+        exactly one drain: drained + remaining == produced, no
+        duplicates.  The pre-fix unsynchronized ``list``/``clear`` pair
+        drops events under this load.
+        """
+        workers, per_worker = 8, 2_000
+        barrier = threading.Barrier(workers + 1)
+        drained: list[runner.RunEvent] = []
+        stop = threading.Event()
+
+        def producer(worker: int):
+            barrier.wait()
+            for i in range(per_worker):
+                runner.record_event(runner.RunEvent(
+                    kind="task-retry", task=worker * per_worker + i,
+                ))
+
+        def consumer():
+            barrier.wait()
+            while not stop.is_set():
+                drained.extend(runner.take_events())
+
+        threads = [
+            threading.Thread(target=producer, args=(w,))
+            for w in range(workers)
+        ]
+        drain_thread = threading.Thread(target=consumer)
+        for t in threads:
+            t.start()
+        drain_thread.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        drain_thread.join()
+        drained.extend(runner.take_events())
+
+        tasks = [event.task for event in drained]
+        assert len(tasks) == workers * per_worker, (
+            f"lost {workers * per_worker - len(tasks)} event(s)"
+        )
+        assert len(set(tasks)) == len(tasks), "an event was double-drained"
+
+    def test_record_event_is_the_producer_path(self):
+        runner.record_event(runner.RunEvent(kind="task-error", task=1))
+        [event] = runner.take_events()
+        assert (event.kind, event.task) == ("task-error", 1)
+        assert runner.take_events() == []
+
+
+class TestVerifyGateSingleFlight:
+    def test_concurrent_misses_verify_once(self, monkeypatch):
+        """Satellite 3's regression: one verification per trace object.
+
+        The first thread to miss the memo owns the verification; late
+        arrivals wait on its in-flight event instead of re-running the
+        verifier.  The underlying ``verify_or_raise`` is slowed and
+        counted: with four threads racing one unverified trace it must
+        run exactly once.
+        """
+        entered = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def slow_verify(trace):
+            calls.append(threading.get_ident())
+            entered.set()
+            release.wait(timeout=5)
+
+        monkeypatch.setattr(eval_common, "verify_or_raise", slow_verify)
+        trace = clean_trace()
+        threads = [
+            threading.Thread(
+                target=eval_common._verify_schedule, args=(trace,)
+            )
+            for _ in range(4)
+        ]
+        threads[0].start()
+        assert entered.wait(timeout=5)
+        for t in threads[1:]:
+            t.start()
+        release.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert len(calls) == 1, (
+            f"verify_or_raise ran {len(calls)} times for one trace"
+        )
+        # And the memo now short-circuits entirely.
+        eval_common._verify_schedule(trace)
+        assert len(calls) == 1
+
+    def test_owner_failure_releases_waiters(self, monkeypatch):
+        """A failed owner must not wedge waiters: they retry themselves."""
+        calls = []
+        real = eval_common.verify_or_raise
+
+        def flaky_verify(trace):
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("transient verifier crash")
+            return real(trace)
+
+        monkeypatch.setattr(eval_common, "verify_or_raise", flaky_verify)
+        trace = clean_trace()
+        with pytest.raises(RuntimeError):
+            eval_common._verify_schedule(trace)
+        # The in-flight table must be clean; the next caller retries.
+        eval_common._verify_schedule(trace)
+        assert len(calls) == 2
+
+    def test_memoization_still_by_identity(self):
+        t1 = clean_trace()
+        eval_common._verify_schedule(t1)
+        with eval_common._VERIFY_LOCK:
+            assert eval_common._VERIFIED_SCHEDULES.get(id(t1)) is t1
