@@ -24,6 +24,15 @@ accounting (admitted/rejected/failed), and batching effectiveness
 (mean/max coalesced batch size).  Results go to ``BENCH_serve.json`` at
 the repo root (or ``--out``) and are printed as a table.
 
+Each point also gets a **degraded-mode companion run**: the same seeded
+load replayed under a deterministic fault plan (kernel raises plus one
+poison request — see ``CHAOS_SPEC``) with retries and deadlines
+enabled.  The ``faulted_*`` columns record how latency and settlement
+degrade when dispatches fail: the published claim is *graceful*
+degradation — p99 grows by retry backoff, poison is quarantined, zero
+responses are corrupted or dropped — not a cliff.  ``--no-chaos``
+skips the companions (halves the wall time).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py           # full sweep
@@ -39,9 +48,23 @@ import json
 import sys
 from pathlib import Path
 
+from repro.eval import faults
 from repro.serve.loadgen import LoadSpec, run_scenario
+from repro.serve.resilience import RetryPolicy
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The degraded-mode fault plan: 5% of dispatches raise, one scheduled
+#: poison request, short slow-dispatch tail.  ``{seed}`` keeps the
+#: probabilistic raises reproducible per point.
+CHAOS_SPEC = (
+    "serve.kernel:raise%0.05;serve.kernel:slow%0.05;"
+    "serve.request:poison@7;slow=0.002;seed={seed}"
+)
+
+#: Companion-run deadline: generous (chaos measures degradation, not
+#: deadline pressure) but finite, so a stuck dispatch cannot wedge CI.
+CHAOS_DEADLINE_S = 30.0
 
 #: (label, requests, burst, burst_gap_s) — offered load grows downward.
 FULL_POINTS = (
@@ -85,7 +108,7 @@ def run_point(label: str, requests: int, burst: int, gap_s: float,
     offered_rps = (
         requests / report.wall_s if report.wall_s > 0 else 0.0
     )
-    return {
+    record = {
         "point": label,
         "requests": requests,
         "burst": burst,
@@ -109,17 +132,73 @@ def run_point(label: str, requests: int, burst: int, gap_s: float,
         "max_batch_size": max(report.batch_sizes, default=0),
         "wall_s": report.wall_s,
     }
+    if not args.no_chaos:
+        record.update(run_chaos_companion(label, spec, args))
+    return record
+
+
+def run_chaos_companion(label: str, spec: LoadSpec,
+                        args: argparse.Namespace) -> dict:
+    """Replay ``spec`` under the chaos plan; the ``faulted_*`` columns.
+
+    Same schedule, same operands — only the fault plan differs — so the
+    clean and faulted columns of one point are directly comparable.
+    The audit stays on: a chaos run that corrupts or drops a response
+    is a resilience bug, and the bench refuses to publish it.
+    """
+    chaos_spec = LoadSpec(
+        seed=spec.seed,
+        tenants=spec.tenants,
+        requests=spec.requests,
+        burst=spec.burst,
+        burst_gap_s=spec.burst_gap_s,
+        deadline_s=CHAOS_DEADLINE_S,
+        n=spec.n,
+    )
+    with faults.injected(CHAOS_SPEC.format(seed=spec.seed)):
+        report = asyncio.run(run_scenario(
+            chaos_spec,
+            shards=args.shards,
+            queue_depth=args.queue_depth,
+            max_batch=args.max_batch,
+            retry=RetryPolicy(retries=2, backoff=0.002),
+        ))
+    if report.dropped or report.corrupted:
+        raise SystemExit(
+            f"[bench-serve] chaos point {label!r}: {report.dropped} "
+            f"dropped, {report.corrupted} corrupted — resilience bug, "
+            "refusing to publish"
+        )
+    service = report.stats
+    return {
+        "faulted_throughput_rps": report.throughput_rps,
+        "faulted_p50_latency_ms": report.latency_percentile(50) * 1e3,
+        "faulted_p99_latency_ms": report.latency_percentile(99) * 1e3,
+        "faulted_completed": report.completed,
+        "faulted_failed": report.failed,
+        "faulted_shed": report.shed,
+        "faulted_quarantined": report.quarantined,
+        "faulted_retried": service.get("retried", 0),
+        "faulted_splits": service.get("splits", 0),
+        "faulted_breaker_opens": sum(
+            b.get("opens", 0) for b in service.get("breakers", [])
+        ),
+        "faulted_wall_s": report.wall_s,
+    }
 
 
 def render_table(records: list[dict]) -> str:
+    chaos = any("faulted_p99_latency_ms" in r for r in records)
     header = (
         f"{'point':<12} {'reqs':>5} {'gap_ms':>7} {'offered':>8} "
         f"{'served':>8} {'p50ms':>7} {'p99ms':>7} {'rej%':>6} "
         f"{'batch':>6}"
     )
+    if chaos:
+        header += f" {'f.p99ms':>8} {'f.quar':>6} {'f.retry':>7}"
     lines = [header, "-" * len(header)]
     for r in records:
-        lines.append(
+        line = (
             f"{r['point']:<12} {r['requests']:>5} "
             f"{r['burst_gap_s'] * 1e3:>7.1f} {r['offered_rps']:>8.0f} "
             f"{r['throughput_rps']:>8.0f} {r['p50_latency_ms']:>7.2f} "
@@ -127,6 +206,13 @@ def render_table(records: list[dict]) -> str:
             f"{100 * r['reject_fraction']:>6.1f} "
             f"{r['mean_batch_size']:>6.2f}"
         )
+        if chaos and "faulted_p99_latency_ms" in r:
+            line += (
+                f" {r['faulted_p99_latency_ms']:>8.2f} "
+                f"{r['faulted_quarantined']:>6} "
+                f"{r['faulted_retried']:>7}"
+            )
+        lines.append(line)
     return "\n".join(lines)
 
 
@@ -142,6 +228,8 @@ def main(argv=None) -> int:
     parser.add_argument("--shards", type=int, default=2)
     parser.add_argument("--queue-depth", type=int, default=64)
     parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--no-chaos", action="store_true",
+                        help="skip the degraded-mode companion runs")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="output path (default: BENCH_serve.json, "
                              "or BENCH_serve.quick.json with --quick)")
@@ -168,6 +256,7 @@ def main(argv=None) -> int:
         "queue_depth": args.queue_depth,
         "max_batch": args.max_batch,
         "quick": args.quick,
+        "chaos_spec": None if args.no_chaos else CHAOS_SPEC,
         "points": records,
     }
     out.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")

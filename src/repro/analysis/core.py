@@ -167,6 +167,7 @@ def _ensure_builtin_passes() -> None:
     # Importing the pass modules populates the registry; done lazily so
     # importing repro.analysis.sanitize alone stays featherweight.
     from repro.analysis import (  # noqa: F401
+        async_tasks,
         backend_bypass,
         dtypes,
         exception_hygiene,

@@ -15,14 +15,21 @@ plan is installed, ``ACTIVE`` is ``False`` and every hook is a single
 attribute check — the same zero-cost-when-off standard as the runtime
 sanitizer (DESIGN.md Sec. 7).
 
-Spec grammar (full description in DESIGN.md Sec. 9)::
+Spec grammar (full description in DESIGN.md Sec. 9 and, for the serve
+sites, Sec. 14)::
 
     spec    := clause (';' clause)*
-    clause  := site ':' mode target? | 'seed=' int | 'hang=' float
+    clause  := site ':' mode target?
+             | 'seed=' int | 'hang=' float | 'slow=' float
+             | 'stall=' float
     site    := 'task' | 'store' | 'result'
+             | 'serve.kernel' | 'serve.queue' | 'serve.request'
     mode    := 'raise' | 'hang' | 'kill' | 'interrupt'   (task site)
              | 'corrupt' | 'truncate'                    (store site)
              | 'raise' | 'interrupt'                     (result site)
+             | 'raise' | 'hang' | 'slow'                 (serve.kernel)
+             | 'stall'                                   (serve.queue)
+             | 'poison'                                  (serve.request)
     target  := '@' index[*] (',' index[*])*   fixed schedule
              | '%' float                      seeded per-index probability
 
@@ -39,10 +46,29 @@ testing retry exhaustion).  Probabilistic clauses hash
 ``(seed, site, mode, index)`` into [0, 1), so two processes — or two
 runs — agree on exactly which points fail without sharing state.
 
+The three ``serve.*`` sites target :mod:`repro.serve` (DESIGN.md
+Sec. 14).  ``serve.kernel`` indices count kernel *dispatches* (each
+retry or split re-dispatch is a fresh index, so a scheduled fault is
+recoverable by construction); ``raise`` models a kernel crash,
+``hang`` a straggler that sleeps ``hang=`` seconds, ``slow`` a
+degraded dispatch that sleeps ``slow=`` seconds.  ``serve.queue``
+indices count worker batch drains; ``stall`` sleeps ``stall=``
+seconds before the drain executes.  ``serve.request`` indices count
+admitted requests; ``poison`` marks the request so *every* dispatch
+containing it fails — the split-and-retry path must quarantine it
+rather than 500 its batch peers.  The serve hooks only *decide*; the
+asyncio service applies delays with ``await asyncio.sleep`` so an
+injected hang never blocks the event loop.
+
 Example: kill the worker running task 2, hang task 5 for 0.4 s, and
 truncate the third cache record written::
 
     BITPACKER_FAULTS='task:kill@2;task:hang@5;store:truncate@2;hang=0.4'
+
+Serve chaos: crash the first kernel dispatch, slow 10% of the rest,
+stall every fourth drain, and poison admitted request 3::
+
+    BITPACKER_FAULTS='serve.kernel:raise@0;serve.kernel:slow%0.1;serve.queue:stall%0.25;serve.request:poison@3;slow=0.01'
 """
 
 from __future__ import annotations
@@ -61,6 +87,9 @@ ENV_FAULTS = "BITPACKER_FAULTS"
 TASK_SITE = "task"
 STORE_SITE = "store"
 RESULT_SITE = "result"
+SERVE_KERNEL_SITE = "serve.kernel"
+SERVE_QUEUE_SITE = "serve.queue"
+SERVE_REQUEST_SITE = "serve.request"
 
 #: Worker-exit status for an injected kill (distinctive in core dumps).
 KILL_EXIT_CODE = 86
@@ -69,6 +98,9 @@ _MODES_BY_SITE = {
     TASK_SITE: frozenset({"raise", "hang", "kill", "interrupt"}),
     STORE_SITE: frozenset({"corrupt", "truncate"}),
     RESULT_SITE: frozenset({"raise", "interrupt"}),
+    SERVE_KERNEL_SITE: frozenset({"raise", "hang", "slow"}),
+    SERVE_QUEUE_SITE: frozenset({"stall"}),
+    SERVE_REQUEST_SITE: frozenset({"poison"}),
 }
 
 #: ``True`` iff a fault plan is installed; hot paths check only this.
@@ -85,6 +117,16 @@ class FaultInjected(Exception):
     for an arbitrary runtime crash (segfault, OOM kill, cosmic ray), so
     the runner must treat it as retryable, unlike deterministic domain
     errors from the library.
+    """
+
+
+class PoisonedRequest(FaultInjected):
+    """A serve kernel dispatch that contained a poisoned request.
+
+    Unlike a plain :class:`FaultInjected` (which fires once per
+    dispatch index and is therefore transient), poison rides the
+    request: every dispatch containing it raises, so the serve layer's
+    split-and-retry must isolate and quarantine the request itself.
     """
 
 
@@ -119,11 +161,19 @@ class FaultPlan:
     clauses: tuple[FaultClause, ...]
     seed: int = 0
     hang_seconds: float = 30.0
+    #: Delay for ``serve.kernel:slow`` dispatches (a degraded kernel,
+    #: not a straggler — small by default so chaos runs stay quick).
+    slow_seconds: float = 0.01
+    #: Delay for ``serve.queue:stall`` drains.
+    stall_seconds: float = 0.02
     spec: str = ""
 
     def __post_init__(self) -> None:
         self._store_index = 0
         self._result_index = 0
+        self._serve_kernel_index = 0
+        self._serve_queue_index = 0
+        self._serve_request_index = 0
 
     def decide(self, site: str, index: int, attempt: int) -> str | None:
         """The fault mode to inject at this point, or ``None``."""
@@ -142,6 +192,21 @@ class FaultPlan:
         self._result_index = index + 1
         return index
 
+    def next_serve_kernel_index(self) -> int:
+        index = self._serve_kernel_index
+        self._serve_kernel_index = index + 1
+        return index
+
+    def next_serve_queue_index(self) -> int:
+        index = self._serve_queue_index
+        self._serve_queue_index = index + 1
+        return index
+
+    def next_serve_request_index(self) -> int:
+        index = self._serve_request_index
+        self._serve_request_index = index + 1
+        return index
+
 
 def _fraction(seed: int, site: str, mode: str, index: int) -> float:
     """Deterministic hash of the injection point into [0, 1)."""
@@ -157,6 +222,8 @@ def parse(spec: str) -> FaultPlan:
     clauses: list[FaultClause] = []
     seed = 0
     hang_seconds = 30.0
+    slow_seconds = 0.01
+    stall_seconds = 0.02
     for raw in spec.split(";"):
         part = raw.strip()
         if not part:
@@ -165,10 +232,15 @@ def parse(spec: str) -> FaultPlan:
             seed = _parse_int(part[len("seed="):], part)
         elif part.startswith("hang="):
             hang_seconds = _parse_float(part[len("hang="):], part)
+        elif part.startswith("slow="):
+            slow_seconds = _parse_float(part[len("slow="):], part)
+        elif part.startswith("stall="):
+            stall_seconds = _parse_float(part[len("stall="):], part)
         else:
             clauses.append(_parse_clause(part))
     return FaultPlan(
         clauses=tuple(clauses), seed=seed, hang_seconds=hang_seconds,
+        slow_seconds=slow_seconds, stall_seconds=stall_seconds,
         spec=spec,
     )
 
@@ -342,6 +414,66 @@ def mangle_record(text: str) -> str:
     if mode == "corrupt":
         return '{"schema": -1, "corrupted": true}'
     return text
+
+
+def serve_kernel_fault() -> tuple[str, float] | None:
+    """Decide the fault for the next serve kernel dispatch, if any.
+
+    Returns ``None`` (clean dispatch) or ``(mode, delay_seconds)``:
+    ``("raise", 0.0)`` means the caller must raise
+    :class:`FaultInjected`; ``("hang", s)`` / ``("slow", s)`` mean the
+    caller must ``await asyncio.sleep(s)`` and then proceed.  The hook
+    never sleeps itself — the serve layer is single-event-loop and a
+    blocking sleep here would stall every shard, not one dispatch.
+
+    Each call consumes one dispatch index, so a retry or split
+    re-dispatch is a fresh index and scheduled faults are recoverable
+    by construction (the same discipline as first-attempt-only task
+    faults).
+    """
+    plan = _PLAN
+    if plan is None:
+        return None
+    index = plan.next_serve_kernel_index()
+    mode = plan.decide(SERVE_KERNEL_SITE, index, 1)
+    if mode is None:
+        return None
+    if mode == "hang":
+        return ("hang", plan.hang_seconds)
+    if mode == "slow":
+        return ("slow", plan.slow_seconds)
+    return ("raise", 0.0)
+
+
+def serve_queue_stall() -> float:
+    """Seconds the next worker batch drain must stall (0.0 = clean).
+
+    The caller applies the delay with ``await asyncio.sleep`` before
+    draining, modeling a scheduler hiccup / queue-head blocking.
+    """
+    plan = _PLAN
+    if plan is None:
+        return 0.0
+    index = plan.next_serve_queue_index()
+    if plan.decide(SERVE_QUEUE_SITE, index, 1) == "stall":
+        return plan.stall_seconds
+    return 0.0
+
+
+def serve_request_poisoned() -> bool:
+    """Whether the next admitted serve request is poison.
+
+    A poisoned request deterministically fails *every* kernel dispatch
+    that contains it (the serve analog of a request whose payload
+    crashes the kernel), so the split-and-retry path must isolate and
+    quarantine it instead of failing its batch peers.  Each call
+    consumes one admission index.
+    """
+    plan = _PLAN
+    if plan is None:
+        return False
+    index = plan.next_serve_request_index()
+    return plan.decide(SERVE_REQUEST_SITE, index, 1) == "poison"
 
 
 configure(os.environ.get(ENV_FAULTS) or None)

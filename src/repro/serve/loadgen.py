@@ -54,6 +54,8 @@ class LoadSpec:
     burst: int = 8
     #: Mean seconds between bursts (0 = flood: every burst back-to-back).
     burst_gap_s: float = 0.0
+    #: Per-request deadline passed to ``submit`` (``None`` = none).
+    deadline_s: float | None = None
     n: int = DEFAULT_N
     word_bits: int = DEFAULT_WORD_BITS
     workloads: tuple[tuple[str, str], ...] = DEFAULT_WORKLOADS
@@ -145,13 +147,16 @@ class LoadReport:
     submitted: int = 0
     admitted: int = 0
     rejected: int = 0
+    shed: int = 0  # 503 circuit-breaker load shedding
     completed: int = 0
     failed: int = 0
+    quarantined: int = 0  # poison requests isolated by split-and-retry
     corrupted: int = 0
     dropped: int = 0  # responses never received (must stay 0)
     latencies_s: list[float] = field(default_factory=list)
     batch_sizes: list[int] = field(default_factory=list)
     reject_codes: dict[int, int] = field(default_factory=dict)
+    failure_codes: dict[int, int] = field(default_factory=dict)
     stats: dict = field(default_factory=dict)
 
     @property
@@ -173,12 +178,15 @@ class LoadReport:
             "burst_gap_s": self.spec.burst_gap_s,
             "n": self.spec.n,
             "word_bits": self.spec.word_bits,
+            "deadline_s": self.spec.deadline_s,
             "wall_s": self.wall_s,
             "submitted": self.submitted,
             "admitted": self.admitted,
             "rejected": self.rejected,
+            "shed": self.shed,
             "completed": self.completed,
             "failed": self.failed,
+            "quarantined": self.quarantined,
             "corrupted": self.corrupted,
             "dropped": self.dropped,
             "throughput_rps": self.throughput_rps,
@@ -194,6 +202,9 @@ class LoadReport:
             "max_batch_size": max(self.batch_sizes, default=0),
             "reject_codes": {
                 str(code): n for code, n in sorted(self.reject_codes.items())
+            },
+            "failure_codes": {
+                str(code): n for code, n in sorted(self.failure_codes.items())
             },
             "service": self.stats,
         }
@@ -231,7 +242,10 @@ async def run_load(
         trace_op = session.trace.ops[arrival.op_index]
         moduli = session.key.moduli_at(trace_op.level)
         a, b = operands_for(spec, arrival, moduli)
-        response = await service.submit(arrival.tenant, arrival.op_index, a, b)
+        response = await service.submit(
+            arrival.tenant, arrival.op_index, a, b,
+            deadline_s=spec.deadline_s,
+        )
         return arrival, a, b, response
 
     started = time.perf_counter()
@@ -255,9 +269,18 @@ async def run_load(
                 report.reject_codes.get(response.code, 0) + 1
             )
             continue
+        if response.status == "shed":
+            report.shed += 1
+            continue
         report.admitted += 1
+        if response.status == "quarantined":
+            report.quarantined += 1
+            continue
         if response.status == "error":
             report.failed += 1
+            report.failure_codes[response.code] = (
+                report.failure_codes.get(response.code, 0) + 1
+            )
             continue
         report.completed += 1
         report.latencies_s.append(response.latency_s)

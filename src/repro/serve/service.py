@@ -7,7 +7,7 @@ admission -> verify gate -> per-shard queue -> batcher -> kernel call
    |              |                |               |          |
  404/400/422   ScheduleViolation  429 past     coalesce     backend
  on bad input  at the front door  high water   compatible   registry
-                                               ops
+               503 breaker shed   / fair cap   ops          + retries
 
 - **Sessions** bind a tenant to a *verified* schedule and to shared
   :class:`~repro.serve.keys.KeyMaterial`.  Registration runs every
@@ -19,26 +19,36 @@ admission -> verify gate -> per-shard queue -> batcher -> kernel call
   makes per-tenant ordering trivial.
 - **Backpressure**: shard queues are bounded; admission past the high
   water mark returns a 429-class rejection immediately instead of
-  queuing unboundedly.  Rejected requests are never enqueued, so the
-  books balance: ``submitted == admitted + rejected`` and, after a
-  drain, ``admitted == completed + failed``.
+  queuing unboundedly.  A per-shard circuit breaker
+  (:mod:`repro.serve.resilience`) sheds load with 503-class responses
+  while a shard's kernel keeps failing, and an optional per-tenant
+  inflight cap keeps one noisy tenant from starving its shard.
 - **Batching**: each worker drains whatever is queued (up to
   ``max_batch``), coalesces compatible ops
   (:mod:`repro.serve.batch`), and dispatches matrix-at-a-time through
   the backend registry.  Results are byte-identical to serial
   execution — batching is a latency/throughput decision, never a
   numerical one.
+- **Resilience** (DESIGN.md Sec. 14): requests carry deadlines from
+  ``submit()`` into every dispatch and retry decision; a failed group
+  is *split-and-retried* (bisection isolates a poison request in
+  O(log B) dispatches and quarantines it instead of 500ing its batch
+  peers); singleton dispatches retry with deterministic-jitter
+  backoff; ``stop(drain=True)`` finishes queued work under a drain
+  deadline and resolves — never hangs — anything it cannot finish.
 - **Observability**: per-tenant counters and latency/batch-size
   histograms ride :mod:`repro.obs` when profiling is enabled; the
   service also keeps always-on local books (:meth:`BitPackerServe.stats`)
-  the smoke job asserts against.
+  the smoke job asserts against, and a :meth:`BitPackerServe.health`
+  readiness view exposing breaker states and quarantine counts.
 
 The service is single-event-loop: workers are asyncio tasks and the
 kernel calls run inline (they are short at service ring degrees and
 release little; a GPU/JIT backend slots in behind the same registry
-dispatch).  The concurrency-unsafe module globals this layer leans on
-(obs span chain and metrics, runner event log, the eval verify memo)
-were made task/thread-safe in the same PR (DESIGN.md Sec. 13).
+dispatch).  Injected faults (:mod:`repro.eval.faults` ``serve.*``
+sites) are *decided* by the injector but *applied* here with
+``await asyncio.sleep``, so a simulated straggler stalls one dispatch,
+not the loop.
 """
 
 from __future__ import annotations
@@ -48,14 +58,17 @@ import hashlib
 import json
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.analysis.absint import verify_or_raise
 from repro.errors import InvariantViolation, ParameterError
+from repro.eval import faults as _faults
 from repro.obs import core as _obs
 from repro.serve import batch as _batch
+from repro.serve import resilience as _res
 from repro.serve.keys import KeyMaterial, KeyParams, KeyRegistry
 from repro.trace.program import HeTrace
 
@@ -64,18 +77,27 @@ from repro.trace.program import HeTrace
 DEFAULT_N = 64
 DEFAULT_WORD_BITS = 28
 
-#: Bound on the admitted-schedule memo (content digests are tiny; this
-#: only guards a pathological churn of unique schedules).
+#: Bound on the admitted-schedule memo: above this the least recently
+#: used digests are evicted (re-verification is cheap and correct, so
+#: eviction only costs latency on a cold schedule, never correctness).
 _GATE_MEMO_LIMIT = 4096
 
 _GATE_LOCK = threading.Lock()
-_GATE_MEMO: set[str] = set()
+#: LRU of admitted-schedule digests (OrderedDict as an LRU: hits move
+#: to the end, eviction pops from the front).
+_GATE_MEMO: OrderedDict[str, None] = OrderedDict()
 _GATE_INFLIGHT: dict[str, threading.Event] = {}
 
 
 def _trace_digest(trace: HeTrace) -> str:
     blob = json.dumps(trace.to_dict(), sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def gate_memo_size() -> int:
+    """Entries in the admitted-schedule memo (exported via ``stats()``)."""
+    with _GATE_LOCK:
+        return len(_GATE_MEMO)
 
 
 def verify_admitted_trace(trace: HeTrace) -> None:
@@ -85,12 +107,15 @@ def verify_admitted_trace(trace: HeTrace) -> None:
     lru_cache interns trace objects), serve sessions build fresh trace
     objects per registration, so the memo keys on a digest of the
     serialized trace.  Single-flight with tolerate-duplicate fallback,
-    same discipline as :func:`repro.eval.common._verify_schedule`.
+    same discipline as :func:`repro.eval.common._verify_schedule`.  The
+    memo is a bounded LRU: a pathological churn of unique schedules
+    evicts the coldest digests instead of growing without bound.
     """
     digest = _trace_digest(trace)
     while True:
         with _GATE_LOCK:
             if digest in _GATE_MEMO:
+                _GATE_MEMO.move_to_end(digest)
                 return
             pending = _GATE_INFLIGHT.get(digest)
             if pending is None:
@@ -99,13 +124,14 @@ def verify_admitted_trace(trace: HeTrace) -> None:
         pending.wait()
         with _GATE_LOCK:
             if digest in _GATE_MEMO:
+                _GATE_MEMO.move_to_end(digest)
                 return
     try:
         verify_or_raise(trace)
         with _GATE_LOCK:
-            if len(_GATE_MEMO) >= _GATE_MEMO_LIMIT:
-                _GATE_MEMO.clear()
-            _GATE_MEMO.add(digest)
+            while len(_GATE_MEMO) >= _GATE_MEMO_LIMIT:
+                _GATE_MEMO.popitem(last=False)
+            _GATE_MEMO[digest] = None
     finally:
         with _GATE_LOCK:
             done = _GATE_INFLIGHT.pop(digest, None)
@@ -126,8 +152,12 @@ class TenantSession:
     submitted: int = 0
     admitted: int = 0
     rejected: int = 0
+    shed: int = 0
     completed: int = 0
     failed: int = 0
+    quarantined: int = 0
+    #: Admitted but not yet settled (the fairness-cap denominator).
+    inflight: int = 0
 
     def op_for(self, op_index: int):
         return self.trace.ops[op_index]
@@ -135,10 +165,18 @@ class TenantSession:
 
 @dataclass
 class ServeResponse:
-    """What a submitter gets back.  ``ok`` iff the op executed."""
+    """What a submitter gets back.  ``ok`` iff the op executed.
 
-    status: str  # "ok" | "rejected" | "error"
-    code: int  # HTTP-style: 200, 400, 404, 422, 429, 500
+    ``status`` values: ``ok`` (200), ``rejected`` (400/404/422/429
+    admission refusals), ``shed`` (503, circuit breaker open),
+    ``quarantined`` (422, this request deterministically fails the
+    kernel and was isolated by split-and-retry), ``error`` (500 kernel
+    failure after retries, 504 deadline exceeded, 503 service stopped
+    before execution).
+    """
+
+    status: str  # "ok" | "rejected" | "shed" | "quarantined" | "error"
+    code: int  # HTTP-style: 200, 400, 404, 422, 429, 500, 503, 504
     tenant: str
     op_index: int | None = None
     result: np.ndarray | None = field(default=None, repr=False)
@@ -166,6 +204,10 @@ class BitPackerServe:
         high_water: int | None = None,
         max_batch: int = 16,
         registry: KeyRegistry | None = None,
+        request_timeout_s: float | None = None,
+        retry: _res.RetryPolicy | None = None,
+        breaker: _res.BreakerPolicy | None = None,
+        tenant_inflight_cap: int | None = None,
     ):
         if shards < 1:
             raise ParameterError(f"shards must be >= 1, got {shards}")
@@ -173,6 +215,14 @@ class BitPackerServe:
             raise ParameterError(f"queue_depth must be >= 1, got {queue_depth}")
         if max_batch < 1:
             raise ParameterError(f"max_batch must be >= 1, got {max_batch}")
+        if request_timeout_s is not None and request_timeout_s <= 0:
+            raise ParameterError(
+                f"request_timeout_s must be > 0, got {request_timeout_s}"
+            )
+        if tenant_inflight_cap is not None and tenant_inflight_cap < 1:
+            raise ParameterError(
+                f"tenant_inflight_cap must be >= 1, got {tenant_inflight_cap}"
+            )
         self.shards = shards
         self.queue_depth = queue_depth
         #: Admission rejects once a shard queue holds this many waiting
@@ -185,17 +235,34 @@ class BitPackerServe:
             )
         self.max_batch = max_batch
         self.registry = registry if registry is not None else KeyRegistry()
+        #: Default per-request deadline (seconds; ``None`` = none).
+        self.request_timeout_s = request_timeout_s
+        self.retry = retry if retry is not None else _res.RetryPolicy()
+        self.breaker_policy = (
+            breaker if breaker is not None else _res.BreakerPolicy()
+        )
+        self.tenant_inflight_cap = tenant_inflight_cap
         self.sessions: dict[str, TenantSession] = {}
         self._queues: list[asyncio.Queue] = []
         self._workers: list[asyncio.Task] = []
+        self._breakers = [
+            _res.CircuitBreaker(self.breaker_policy) for _ in range(shards)
+        ]
         self._seq = 0
         self._running = False
         # Always-on books (obs counters only record while profiling).
         self.submitted = 0
         self.admitted = 0
         self.rejected = 0
+        self.shed = 0
         self.completed = 0
         self.failed = 0
+        self.quarantined = 0
+        #: Failure breakdown (both are subsets of ``failed``).
+        self.expired = 0  # 504: deadline passed before/while executing
+        self.cancelled = 0  # 503: service stopped before execution
+        self.retried = 0  # re-dispatches (split halves + singleton retries)
+        self.splits = 0  # failed groups bisected to isolate a poison
         self.batches = 0
         self.batched_requests = 0
         self.max_batch_seen = 0
@@ -215,25 +282,51 @@ class BitPackerServe:
         ]
         self._running = True
 
-    async def stop(self) -> None:
-        """Drain every queue, then stop the workers."""
+    async def stop(
+        self, drain: bool = True, drain_timeout_s: float | None = None
+    ) -> bool:
+        """Stop the service; returns ``True`` iff every queue drained.
+
+        ``drain=True`` (the default) finishes all queued work first,
+        bounded by ``drain_timeout_s`` (``None`` = wait forever).
+        ``drain=False`` — or a drain deadline expiring — cancels the
+        workers and *settles* everything still pending with 503-class
+        ``error`` responses: a stopped service never leaves a submitter
+        awaiting a future that will not resolve, and the books still
+        balance (the cancellations count as ``failed``/``cancelled``).
+        """
         if not self._running:
-            return
-        for queue in self._queues:
-            await queue.join()
+            return True
+        self._running = False  # new submits now refuse; queued work settles
+        drained = True
+        if drain and self._queues:
+            join = asyncio.gather(*(queue.join() for queue in self._queues))
+            try:
+                await asyncio.wait_for(join, drain_timeout_s)
+            except asyncio.TimeoutError:
+                drained = False
         for worker in self._workers:
             worker.cancel()
         await asyncio.gather(*self._workers, return_exceptions=True)
+        # Whatever is still queued was never dispatched: settle it.
+        for queue in self._queues:
+            while True:
+                try:
+                    request = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                self._settle_cancelled(request)
+                queue.task_done()
         self._workers = []
         self._queues = []
-        self._running = False
+        return drained
 
     async def __aenter__(self) -> "BitPackerServe":
         await self.start()
         return self
 
     async def __aexit__(self, exc_type, exc, tb) -> bool:
-        await self.stop()
+        await self.stop(drain=True)
         return False
 
     # ------------------------------------------------------------------
@@ -318,14 +411,32 @@ class BitPackerServe:
             op_index=op_index, reason=reason,
         )
 
+    def _shed(
+        self, session: TenantSession, code: int, reason: str,
+        op_index: int | None = None,
+    ) -> ServeResponse:
+        self.shed += 1
+        session.shed += 1
+        if _obs.ACTIVE:
+            _obs.count("serve.shed")
+            _obs.count(f"serve.tenant.{session.tenant}.shed")
+        return ServeResponse(
+            status="shed", code=code, tenant=session.tenant,
+            op_index=op_index, reason=reason,
+        )
+
     async def submit(
-        self, tenant: str, op_index: int, a: np.ndarray, b: np.ndarray
+        self, tenant: str, op_index: int, a: np.ndarray, b: np.ndarray,
+        *, deadline_s: float | None = None,
     ) -> ServeResponse:
         """Admit one ciphertext op and await its (possibly batched) result.
 
-        Admission failures resolve immediately with ``rejected``
-        responses and HTTP-style codes; admitted requests resolve when
-        their batch executes.
+        Admission failures resolve immediately with ``rejected`` (or,
+        breaker open, ``shed``) responses and HTTP-style codes;
+        admitted requests resolve when their batch executes, retries
+        exhaust, their deadline passes, or the service stops.
+        ``deadline_s`` overrides the service's ``request_timeout_s``
+        for this request (relative seconds from now).
         """
         if not self._running:
             raise ParameterError("service is not running (use `async with`)")
@@ -358,6 +469,22 @@ class BitPackerServe:
             _batch.validate_operands(request)
         except ParameterError as exc:
             return self._reject(session, tenant, 422, str(exc), op_index)
+        breaker = self._breakers[session.shard]
+        if not breaker.allow():
+            return self._shed(
+                session, 503,
+                f"shard {session.shard} circuit breaker {breaker.state}",
+                op_index,
+            )
+        if (
+            self.tenant_inflight_cap is not None
+            and session.inflight >= self.tenant_inflight_cap
+        ):
+            return self._reject(
+                session, tenant, 429,
+                f"tenant inflight cap reached "
+                f"({session.inflight}/{self.tenant_inflight_cap})", op_index,
+            )
         queue = self._queues[session.shard]
         if queue.qsize() >= self.high_water:
             return self._reject(
@@ -365,9 +492,16 @@ class BitPackerServe:
                 f"shard {session.shard} past high water "
                 f"({self.high_water} queued)", op_index,
             )
+        if deadline_s is None:
+            deadline_s = self.request_timeout_s
+        if deadline_s is not None:
+            request.deadline = time.monotonic() + deadline_s
+        if _faults.ACTIVE:
+            request.poisoned = _faults.serve_request_poisoned()
         self._seq += 1
         self.admitted += 1
         session.admitted += 1
+        session.inflight += 1
         if _obs.ACTIVE:
             _obs.count("serve.admitted")
             _obs.count(f"serve.tenant.{tenant}.admitted")
@@ -391,79 +525,216 @@ class BitPackerServe:
                 except asyncio.QueueEmpty:
                     break
             try:
+                if _faults.ACTIVE:
+                    stall = _faults.serve_queue_stall()
+                    if stall > 0:
+                        await asyncio.sleep(stall)
                 for group in _batch.coalesce(run):
-                    self._execute(shard, group)
+                    await self._run_group(shard, group)
+            except asyncio.CancelledError:
+                # Stop mid-flight: settle what this worker was holding
+                # so no submitter is left awaiting a dead future.
+                for pending in run:
+                    self._settle_cancelled(pending)
+                raise
             finally:
                 for _ in run:
                     queue.task_done()
 
-    def _execute(self, shard: int, group: list[_batch.OpRequest]) -> None:
-        """Run one coalesced group and resolve its futures."""
+    async def _dispatch(
+        self, shard: int, group: list[_batch.OpRequest]
+    ) -> list[np.ndarray]:
+        """One kernel dispatch attempt for a coalesced group."""
         self.batches += 1
         self.batched_requests += len(group)
         self.max_batch_seen = max(self.max_batch_seen, len(group))
         if _obs.ACTIVE:
             _obs.count("serve.batches")
             _obs.observe("serve.batch_size", len(group))
-        try:
-            if _obs.ACTIVE:
-                with _obs.span(
-                    "serve/batch", shard=shard, op=group[0].op,
-                    level=group[0].level, size=len(group),
-                ):
-                    results = _batch.execute_group(group)
+        if _faults.ACTIVE:
+            fault = _faults.serve_kernel_fault()
+            if fault is not None:
+                mode, delay = fault
+                if mode == "raise":
+                    raise _faults.FaultInjected(
+                        f"injected serve.kernel raise (shard {shard})"
+                    )
+                # hang / slow: a straggler dispatch, not a dead one.
+                await asyncio.sleep(delay)
+            poisoned = [r.seq for r in group if r.poisoned]
+            if poisoned:
+                raise _faults.PoisonedRequest(
+                    f"injected poison request(s) seq={poisoned} "
+                    f"(shard {shard})"
+                )
+        if _obs.ACTIVE:
+            with _obs.span(
+                "serve/batch", shard=shard, op=group[0].op,
+                level=group[0].level, size=len(group),
+            ):
+                return _batch.execute_group(group)
+        return _batch.execute_group(group)
+
+    async def _run_group(
+        self, shard: int, group: list[_batch.OpRequest], attempt: int = 1
+    ) -> None:
+        """Run one coalesced group with deadline/retry/split handling.
+
+        ``attempt`` counts dispatches of *this exact group*: splitting
+        a failed multi-request group hands each half a fresh budget
+        (the bisection is bounded by ``log2(max_batch)`` on its own),
+        while a failing singleton retries up to ``retry.retries`` times
+        with deterministic-jitter backoff before being quarantined.
+        """
+        now = time.monotonic()
+        live = []
+        for request in group:
+            if request.deadline is not None and now >= request.deadline:
+                self._settle_expired(request, len(group))
             else:
-                results = _batch.execute_group(group)
-        except Exception as exc:  # kernel failure: fail the whole group
-            done = time.perf_counter()
-            for request in group:
-                future, op_index, t0 = request.context
-                self.failed += 1
-                self.sessions[request.tenant].failed += 1
-                if _obs.ACTIVE:
-                    _obs.count("serve.failed")
-                    _obs.count(f"serve.tenant.{request.tenant}.failed")
-                if not future.done():
-                    future.set_result(ServeResponse(
-                        status="error", code=500, tenant=request.tenant,
-                        op_index=op_index, batch_size=len(group),
-                        latency_s=done - t0,
-                        reason=f"{type(exc).__name__}: {exc}",
-                    ))
+                live.append(request)
+        if not live:
             return
-        done = time.perf_counter()
-        for request, result in zip(group, results):
-            future, op_index, t0 = request.context
-            latency = done - t0
-            self.completed += 1
-            session = self.sessions[request.tenant]
-            session.completed += 1
+        breaker = self._breakers[shard]
+        try:
+            results = await self._dispatch(shard, live)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            breaker.record_failure()
             if _obs.ACTIVE:
-                _obs.count("serve.completed")
-                _obs.count(f"serve.tenant.{request.tenant}.completed")
+                _obs.count("serve.dispatch_failures")
+            if len(live) > 1:
+                # Split-and-retry: bisect to isolate the failing member
+                # so its peers are not failed by association.
+                self.splits += 1
+                self.retried += 2
+                if _obs.ACTIVE:
+                    _obs.count("serve.splits")
+                    _obs.count("serve.retried", 2)
+                mid = len(live) // 2
+                await self._run_group(shard, live[:mid])
+                await self._run_group(shard, live[mid:])
+                return
+            request = live[0]
+            if attempt <= self.retry.retries:
+                delay = self.retry.delay_for(request.seq, attempt)
+                if _res.remaining(request.deadline) > delay:
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                    self.retried += 1
+                    if _obs.ACTIVE:
+                        _obs.count("serve.retried")
+                    await self._run_group(shard, [request], attempt + 1)
+                    return
+                # The retry would land past the deadline: expire now
+                # instead of burning a sleep the submitter cannot use.
+                self._settle_expired(request, 1)
+                return
+            self._settle_quarantined(request, exc, attempt)
+            return
+        breaker.record_success()
+        for request, result in zip(live, results):
+            self._settle_ok(request, result, len(live))
+
+    # ------------------------------------------------------------------
+    # Settlement (the single choke point for admitted-request books)
+    # ------------------------------------------------------------------
+    def _settle(
+        self, request: _batch.OpRequest, status: str, code: int, *,
+        result: np.ndarray | None = None, batch_size: int = 0,
+        reason: str = "",
+    ) -> bool:
+        """Resolve an admitted request exactly once; returns ``False``
+        if it was already settled (books untouched)."""
+        future, op_index, t0 = request.context
+        if future.done():
+            return False
+        latency = time.perf_counter() - t0
+        session = self.sessions[request.tenant]
+        session.inflight -= 1
+        if status == "ok":
+            self.completed += 1
+            session.completed += 1
+        elif status == "quarantined":
+            self.quarantined += 1
+            session.quarantined += 1
+        else:
+            self.failed += 1
+            session.failed += 1
+        if _obs.ACTIVE:
+            label = {"ok": "completed", "error": "failed"}.get(status, status)
+            _obs.count(f"serve.{label}")
+            _obs.count(f"serve.tenant.{request.tenant}.{label}")
+            if status == "ok":
                 _obs.observe("serve.latency_seconds", latency)
-                _obs.observe(f"serve.tenant.{request.tenant}.latency_seconds",
-                             latency)
-            if not future.done():
-                future.set_result(ServeResponse(
-                    status="ok", code=200, tenant=request.tenant,
-                    op_index=op_index, result=result,
-                    batch_size=len(group), latency_s=latency,
-                ))
+                _obs.observe(
+                    f"serve.tenant.{request.tenant}.latency_seconds", latency
+                )
+        future.set_result(ServeResponse(
+            status=status, code=code, tenant=request.tenant,
+            op_index=op_index, result=result, batch_size=batch_size,
+            latency_s=latency, reason=reason,
+        ))
+        return True
+
+    def _settle_ok(
+        self, request: _batch.OpRequest, result: np.ndarray, batch_size: int
+    ) -> None:
+        self._settle(
+            request, "ok", 200, result=result, batch_size=batch_size
+        )
+
+    def _settle_expired(
+        self, request: _batch.OpRequest, batch_size: int
+    ) -> None:
+        if self._settle(
+            request, "error", 504, batch_size=batch_size,
+            reason="deadline exceeded before execution completed",
+        ):
+            self.expired += 1
+            if _obs.ACTIVE:
+                _obs.count("serve.expired")
+
+    def _settle_cancelled(self, request: _batch.OpRequest) -> None:
+        if self._settle(
+            request, "error", 503,
+            reason="service stopped before execution",
+        ):
+            self.cancelled += 1
+            if _obs.ACTIVE:
+                _obs.count("serve.cancelled")
+
+    def _settle_quarantined(
+        self, request: _batch.OpRequest, exc: Exception, attempts: int
+    ) -> None:
+        self._settle(
+            request, "quarantined", 422, batch_size=1,
+            reason=(
+                f"request deterministically fails the kernel "
+                f"({attempts} attempt(s)): {type(exc).__name__}: {exc}"
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Books
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """The service's always-on accounting, consistency-checkable:
-        ``submitted == admitted + rejected`` always, and after a drain
-        ``admitted == completed + failed``."""
+        ``submitted == admitted + rejected + shed`` always, and after a
+        drain ``admitted == completed + failed + quarantined``."""
         return {
             "submitted": self.submitted,
             "admitted": self.admitted,
             "rejected": self.rejected,
+            "shed": self.shed,
             "completed": self.completed,
             "failed": self.failed,
+            "quarantined": self.quarantined,
+            "expired": self.expired,
+            "cancelled": self.cancelled,
+            "retried": self.retried,
+            "splits": self.splits,
             "batches": self.batches,
             "batched_requests": self.batched_requests,
             "max_batch_seen": self.max_batch_seen,
@@ -472,13 +743,18 @@ class BitPackerServe:
             ),
             "keys_built": self.registry.built,
             "keys_reused": self.registry.reused,
+            "gate_memo_size": gate_memo_size(),
+            "breakers": [b.snapshot() for b in self._breakers],
             "tenants": {
                 name: {
                     "submitted": s.submitted,
                     "admitted": s.admitted,
                     "rejected": s.rejected,
+                    "shed": s.shed,
                     "completed": s.completed,
                     "failed": s.failed,
+                    "quarantined": s.quarantined,
+                    "inflight": s.inflight,
                     "shard": s.shard,
                     "key": s.key.fingerprint,
                 }
@@ -486,19 +762,55 @@ class BitPackerServe:
             },
         }
 
+    def health(self) -> dict:
+        """Readiness view: breaker states, queue depths, books summary.
+
+        ``ready`` means the service is running and at least one shard's
+        breaker is accepting traffic — a load balancer's probe target.
+        """
+        breakers = [b.snapshot() for b in self._breakers]
+        return {
+            "running": self._running,
+            "ready": self._running and any(
+                b["state"] != _res.OPEN for b in breakers
+            ),
+            "shards": [
+                {
+                    "shard": index,
+                    "queued": (
+                        self._queues[index].qsize() if self._queues else 0
+                    ),
+                    **snap,
+                }
+                for index, snap in enumerate(breakers)
+            ],
+            "sessions": len(self.sessions),
+            "gate_memo_size": gate_memo_size(),
+            "quarantined": self.quarantined,
+            "retried": self.retried,
+            "shed": self.shed,
+        }
+
     def check_books(self) -> None:
-        """Raise if the admission/completion ledgers do not balance."""
-        if self.submitted != self.admitted + self.rejected:
+        """Raise if the admission/settlement ledgers do not balance."""
+        if self.submitted != self.admitted + self.rejected + self.shed:
             raise InvariantViolation(  # pragma: no cover - ledger bug
                 f"serve books broken: submitted={self.submitted} != "
-                f"admitted={self.admitted} + rejected={self.rejected}"
+                f"admitted={self.admitted} + rejected={self.rejected} + "
+                f"shed={self.shed}"
             )
-        if self.admitted != self.completed + self.failed + sum(
-            queue.qsize() for queue in self._queues
-        ):
+        queued = sum(queue.qsize() for queue in self._queues)
+        settled = self.completed + self.failed + self.quarantined
+        if self.admitted != settled + queued:
             raise InvariantViolation(  # pragma: no cover - ledger bug
                 f"serve books broken: admitted={self.admitted} != "
-                f"completed={self.completed} + failed={self.failed} + queued"
+                f"completed={self.completed} + failed={self.failed} + "
+                f"quarantined={self.quarantined} + queued={queued}"
+            )
+        if self.expired + self.cancelled > self.failed:
+            raise InvariantViolation(  # pragma: no cover - ledger bug
+                f"serve books broken: expired={self.expired} + "
+                f"cancelled={self.cancelled} exceeds failed={self.failed}"
             )
 
 

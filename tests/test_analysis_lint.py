@@ -649,6 +649,69 @@ class TestForkSafetyPass:
         assert findings == []
 
 
+class TestAsyncTaskLeakPass:
+    """``async-task-leak``: discarded create_task/ensure_future handles
+    can be garbage-collected mid-flight (the loop holds only a weak
+    reference) and their exceptions vanish."""
+
+    def test_bare_create_task_flagged(self):
+        findings = lint_str(
+            """
+            import asyncio
+
+            async def serve(coro):
+                asyncio.create_task(coro())
+            """,
+            ["async-task-leak"],
+        )
+        assert len(findings) == 1
+        assert "weak reference" in findings[0].message
+
+    def test_bare_ensure_future_flagged(self):
+        findings = lint_str(
+            """
+            import asyncio
+
+            async def serve(coro, loop):
+                asyncio.ensure_future(coro())
+                loop.create_task(coro())
+            """,
+            ["async-task-leak"],
+        )
+        assert len(findings) == 2
+
+    def test_stored_awaited_and_gathered_tasks_clean(self):
+        findings = lint_str(
+            """
+            import asyncio
+
+            async def serve(coro):
+                kept = asyncio.create_task(coro())
+                tasks = []
+                tasks.append(asyncio.create_task(coro()))
+                await asyncio.create_task(coro())
+                await asyncio.gather(*tasks, kept)
+            """,
+            ["async-task-leak"],
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = lint_str(
+            """
+            import asyncio
+
+            async def serve(coro):
+                asyncio.create_task(coro())  # fhelint: ok[async-task-leak] heartbeat, done-callback attached
+            """,
+            ["async-task-leak"],
+        )
+        assert findings == []
+
+    def test_serve_package_is_clean(self):
+        assert run_lint(["src/repro/serve"], ["async-task-leak"]) == []
+
+
 class TestPragmaContinuation:
     """Pragmas anywhere in a multi-line statement suppress findings on
     any of its lines (regression: only the flagged node's own lines

@@ -114,6 +114,65 @@ class TestSpecParsing:
         assert faults.active_spec() is None
 
 
+class TestServeSites:
+    """The serve-layer fault sites ride the same spec grammar."""
+
+    def test_serve_sites_parse_with_knobs(self):
+        plan = faults.parse(
+            "serve.kernel:raise@0;serve.kernel:slow@1;serve.queue:stall@0;"
+            "serve.request:poison@2;slow=0.007;stall=0.03;hang=0.4"
+        )
+        assert plan.slow_seconds == 0.007
+        assert plan.stall_seconds == 0.03
+        assert plan.decide("serve.kernel", 0, 1) == "raise"
+        assert plan.decide("serve.kernel", 1, 1) == "slow"
+        assert plan.decide("serve.queue", 0, 1) == "stall"
+        assert plan.decide("serve.request", 2, 1) == "poison"
+
+    @pytest.mark.parametrize("spec", [
+        "serve.kernel:stall@0",    # queue-only mode on kernel site
+        "serve.queue:raise@0",     # kernel-only mode on queue site
+        "serve.request:raise@0",   # poison is the only request mode
+        "serve.oven:raise@0",      # unknown serve site
+        "slow=abc",
+        "stall=abc",
+    ])
+    def test_bad_serve_specs_rejected(self, spec):
+        with pytest.raises(ParameterError):
+            faults.parse(spec)
+
+    def test_kernel_hook_consumes_indices_in_dispatch_order(self):
+        spec = (
+            "serve.kernel:raise@0;serve.kernel:slow@1;serve.kernel:hang@2;"
+            "slow=0.005;hang=0.25"
+        )
+        with faults.injected(spec):
+            assert faults.serve_kernel_fault() == ("raise", 0.0)
+            assert faults.serve_kernel_fault() == ("slow", 0.005)
+            assert faults.serve_kernel_fault() == ("hang", 0.25)
+            assert faults.serve_kernel_fault() is None
+
+    def test_queue_and_request_hooks(self):
+        with faults.injected(
+            "serve.queue:stall@1;serve.request:poison@1;stall=0.02"
+        ):
+            assert faults.serve_queue_stall() == 0.0
+            assert faults.serve_queue_stall() == 0.02
+            assert faults.serve_queue_stall() == 0.0
+            assert faults.serve_request_poisoned() is False
+            assert faults.serve_request_poisoned() is True
+            assert faults.serve_request_poisoned() is False
+
+    def test_inactive_serve_hooks_are_noops(self):
+        assert not faults.ACTIVE
+        assert faults.serve_kernel_fault() is None
+        assert faults.serve_queue_stall() == 0.0
+        assert faults.serve_request_poisoned() is False
+
+    def test_poisoned_request_is_a_fault_injected(self):
+        assert issubclass(faults.PoisonedRequest, faults.FaultInjected)
+
+
 class TestWorkerKill:
     def test_killed_worker_respawns_and_matches_serial(self, fresh_cache):
         """Acceptance (a): a worker kill costs one pool respawn; results
