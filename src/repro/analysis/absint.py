@@ -256,6 +256,20 @@ class _Engine:
         last_compute: dict[int, int] = {}
         last_adjust_from: dict[int, int] = {}
         product_peak: dict[int, float] = {}
+        # Bootstrap-span tracking for the waste diagnostics: the ladder's
+        # rescales/adjusts perform load-bearing scale conversions between
+        # stage scales (CtS -> EvalMod -> StC -> app), so they are never
+        # elidable even when no product is live.  ``app_top`` is the top
+        # of the bottom uniform-scale run (the application region); the
+        # cursor is "in span" from a bootstrap entry until it descends
+        # back to or below it.
+        app_top = 0
+        while (
+            app_top + 1 <= self.max_level
+            and self.targets[app_top + 1] == self.targets[0]
+        ):
+            app_top += 1
+        in_span = False
 
         def fresh(level: int) -> tuple[_Abstract, "NoiseEstimate"]:
             t = self.targets[level]
@@ -309,7 +323,9 @@ class _Engine:
                         )
                     )
                     continue
-                if last_compute.get(lvl, -1) <= last_adjust_from.get(lvl, -1):
+                if not in_span and (
+                    last_compute.get(lvl, -1) <= last_adjust_from.get(lvl, -1)
+                ):
                     self.waste.append(
                         _finding(
                             trace, index, "trace-elidable-adjust",
@@ -319,6 +335,8 @@ class _Engine:
                         )
                     )
                 last_adjust_from[lvl] = index
+                if dst <= app_top:
+                    in_span = False
                 if state is not None and state.level == dst:
                     # The adjusted value joins the live cursor's level:
                     # the cursor keeps whatever product it carries and
@@ -356,7 +374,7 @@ class _Engine:
                             "before rescaling)",
                         )
                     )
-                elif not state.product:
+                elif not state.product and not in_span:
                     self.waste.append(
                         _finding(
                             trace, index, "trace-elidable-rescale",
@@ -365,6 +383,8 @@ class _Engine:
                             "a product",
                         )
                     )
+                if lvl - 1 <= app_top:
+                    in_span = False
                 state = _Abstract(lvl - 1, out, out, False)
                 noise = self.model.after_rescale(noise)
                 min_margin = self._record(op, index, state, noise, min_margin)
@@ -380,6 +400,7 @@ class _Engine:
                 # refreshed ciphertext is fresh at max_level.
                 bootstraps += 1
                 noise_flagged = False
+                in_span = True
                 state, noise = fresh(lvl)
             else:
                 self.findings.append(self._flow_finding(index, op, state.level))

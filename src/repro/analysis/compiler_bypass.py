@@ -1,0 +1,105 @@
+"""Compiler-bypass pass: schedule rewrites go through the trace compiler.
+
+A :class:`~repro.trace.program.HeTrace` that reaches the planners, the
+serve admission gate, or the eval caches is assumed to be either a
+recorded program or the output of :mod:`repro.trace.compiler` — both
+absint-certified.  Code that hand-mutates the schedule around the
+compiler (rebuilding a ``TraceOp`` with a different ``scale_bits`` or
+``level``, or reassigning a trace's scale targets / an op's fields in
+place) skips that certification and desynchronizes the content digest
+the serve memo and eval cache keys rely on.
+
+The ``compiler-bypass`` pass flags, outside the compiler itself, the
+planners (``repro/schemes/``), and the deliberate corruption harness
+(``repro/analysis/mutations.py``):
+
+- ``dataclasses.replace(x, scale_bits=..., ...)`` /
+  ``replace(x, level=...)`` / ``replace(x, dst_level=...)`` — rebuilding
+  trace ops with altered schedule fields;
+- assignments to ``.level_scale_bits``, ``.base_bits``, or
+  ``.scale_bits`` attributes — in-place schedule surgery (``self.``
+  initialization in constructors is exempt).
+
+A deliberate rewrite (a test fixture, say) must carry a
+``# fhelint: ok[compiler-bypass] <reason>`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.core import LintPass, SourceModule, register
+
+#: Paths (suffix match on posix parts) allowed to rewrite schedules.
+_ALLOWED = (
+    ("repro", "trace", "compiler.py"),
+    ("repro", "trace", "program.py"),
+    ("repro", "schemes"),
+    ("repro", "analysis", "mutations.py"),
+)
+
+_SCHEDULE_KWARGS = frozenset({"scale_bits", "level", "dst_level"})
+_SCHEDULE_ATTRS = frozenset({"level_scale_bits", "base_bits", "scale_bits"})
+
+_REPLACE_MSG = (
+    "replace(..., {kwarg}=...) rebuilds a trace op with an altered "
+    "schedule field; route schedule rewrites through "
+    "repro.trace.compiler.compile_trace so they are absint-certified "
+    "and the content digest tracks them"
+)
+_ASSIGN_MSG = (
+    "assigning .{attr} hand-mutates a schedule outside the trace "
+    "compiler/planners; compile the trace instead so the rewrite is "
+    "certified and cache digests stay coherent"
+)
+
+
+def _is_replace_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "replace"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "replace" and isinstance(func.value, ast.Name) \
+            and func.value.id == "dataclasses"
+    return False
+
+
+class CompilerBypassPass(LintPass):
+    rule = "compiler-bypass"
+    description = "schedule hand-mutated outside the trace compiler"
+
+    def check(self, module: SourceModule) -> Iterator[tuple[ast.AST, str]]:
+        parts = Path(module.path).parts
+        if any(
+            parts[max(0, len(parts) - len(allow)):] == allow
+            or (allow[-1] == "schemes" and "schemes" in parts)
+            for allow in _ALLOWED
+        ):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and _is_replace_call(node):
+                for kw in node.keywords:
+                    if kw.arg in _SCHEDULE_KWARGS:
+                        yield node, _REPLACE_MSG.format(kwarg=kw.arg)
+                        break
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr in _SCHEDULE_ATTRS
+                        and not (
+                            isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        )
+                    ):
+                        yield node, _ASSIGN_MSG.format(attr=target.attr)
+
+
+register(CompilerBypassPass())

@@ -169,6 +169,7 @@ def _ensure_builtin_passes() -> None:
     from repro.analysis import (  # noqa: F401
         async_tasks,
         backend_bypass,
+        compiler_bypass,
         dtypes,
         exception_hygiene,
         fork_safety,

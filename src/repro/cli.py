@@ -20,6 +20,8 @@ Usage (``python -m repro ...``)::
     python -m repro lint --format sarif --output fhelint.sarif
     python -m repro verify-trace --waste
     python -m repro verify-trace my_schedule.json --format json
+    python -m repro compile-trace --format json --output savings.json
+    python -m repro figure fig11 --compiled
     python -m repro serve --tenants 8 --requests 400 --json serve.json
 
 ``figure`` treats sweeps as restartable batch jobs: worker crashes and
@@ -113,6 +115,11 @@ def _add_figure_options(parser: argparse.ArgumentParser) -> None:
         help="kernel backend for the hot paths (numpy, numba, or auto; "
              "default: $BITPACKER_BACKEND or auto; see "
              "`repro backends`)",
+    )
+    parser.add_argument(
+        "--compiled", action="store_true",
+        help="run the harness on trace-compiler output (optimized "
+             "schedules) instead of the recorded schedules",
     )
 
 
@@ -233,6 +240,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list the verifier's rule ids and exit",
     )
     _add_format_options(verify)
+
+    compile_ = sub.add_parser(
+        "compile-trace",
+        help="optimize FHE schedules through the trace compiler "
+             "(absint-certified rewrites + chain re-planning)",
+    )
+    compile_.add_argument(
+        "paths", nargs="*", metavar="TRACE.json",
+        help="trace files (HeTrace JSON, single object or list); default: "
+             "the bundled paper workload traces",
+    )
+    compile_.add_argument(
+        "--schemes", nargs="+", default=("bitpacker", "rns-ckks"),
+        choices=["bitpacker", "rns-ckks"], metavar="SCHEME",
+        help="schemes to compile for (default: both)",
+    )
+    compile_.add_argument(
+        "--word", type=int, default=28, metavar="BITS",
+        help="hardware word size (default: 28)",
+    )
+    compile_.add_argument(
+        "--no-plan", action="store_true",
+        help="skip re-planning the modulus chain (report-only compile)",
+    )
+    compile_.add_argument(
+        "--require-savings", action="store_true",
+        help="exit non-zero unless the batch saves at least one level "
+             "or one log2(Q) bit in aggregate (the CI gate)",
+    )
+    compile_.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        dest="format", metavar="FMT",
+        help="report format: text (default) or json",
+    )
+    compile_.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -452,8 +497,18 @@ def _run_figure_command(args) -> int:
         try:
             module = importlib.import_module(module_path)
             kwargs = {}
-            if "jobs" in inspect.signature(module.run).parameters:
+            run_params = inspect.signature(module.run).parameters
+            if "jobs" in run_params:
                 kwargs["jobs"] = args.jobs
+            if getattr(args, "compiled", False):
+                if "compiled" in run_params:
+                    kwargs["compiled"] = True
+                else:
+                    print(
+                        f"[{name}] --compiled not supported by this "
+                        "harness; running the recorded schedules",
+                        file=sys.stderr,
+                    )
             if profiling:
                 with obs.span(f"figure/{name}"):
                     data = module.run(**kwargs)
@@ -716,6 +771,94 @@ def _cmd_verify_trace(args) -> int:
     return 1 if violations else 0
 
 
+def _cmd_compile_trace(args) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.trace.compiler import compile_trace, render_report
+
+    plan = not args.no_plan
+    try:
+        compiled = []
+        if args.paths:
+            for raw in args.paths:
+                for trace in _load_trace_file(Path(raw)):
+                    for scheme in args.schemes:
+                        compiled.append(
+                            compile_trace(
+                                trace, scheme=scheme,
+                                word_bits=args.word, plan=plan,
+                            )
+                        )
+        else:
+            from repro.analysis import workload_traces
+
+            for scheme in args.schemes:
+                for trace in workload_traces(
+                    schemes=(scheme,), word_bits=args.word
+                ):
+                    compiled.append(
+                        compile_trace(
+                            trace, scheme=scheme,
+                            word_bits=args.word, plan=plan,
+                        )
+                    )
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    levels_saved = sum(c.levels_saved for c in compiled)
+    q_saved = sum(c.log2_q_saved for c in compiled)
+    if args.format == "json":
+        doc = {
+            "workloads": [
+                {
+                    "name": c.trace.name,
+                    "scheme": c.scheme,
+                    "word_bits": c.word_bits,
+                    "levels_before": c.levels_before,
+                    "levels_after": c.levels_after,
+                    "levels_saved": c.levels_saved,
+                    "log2_q_before": c.log2_q_before,
+                    "log2_q_after": c.log2_q_after,
+                    "log2_q_saved": c.log2_q_saved,
+                    "noise_margin_before": c.noise_margin_before,
+                    "noise_margin_after": c.noise_margin_after,
+                    "ops_elided": c.ops_elided,
+                    "passes": [p.to_dict() for p in c.passes],
+                    "source_digest": c.source_digest,
+                    "digest": c.digest,
+                    "planned": c.chain is not None,
+                }
+                for c in compiled
+            ],
+            "totals": {
+                "workloads": len(compiled),
+                "levels_saved": levels_saved,
+                "log2_q_saved": q_saved,
+            },
+        }
+        text = json.dumps(doc, indent=2) + "\n"
+    else:
+        text = render_report(compiled) + "\n"
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        _write_text_atomic(out, text)
+        print(f"wrote report [{args.format}] -> {out}", file=sys.stderr)
+    else:
+        print(text, end="")
+    print(
+        f"[compile-trace] {len(compiled)} workload(s): {levels_saved} "
+        f"level(s) and {q_saved:.1f} log2(Q) bits saved, all re-certified",
+        file=sys.stderr,
+    )
+    if args.require_savings and levels_saved <= 0 and q_saved <= 0.0:
+        print("[compile-trace] no savings found", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.serve.cli import main as serve_main
 
@@ -732,6 +875,7 @@ _COMMANDS: dict[str, Callable] = {
     "backends": _cmd_backends,
     "lint": _cmd_lint,
     "verify-trace": _cmd_verify_trace,
+    "compile-trace": _cmd_compile_trace,
     "serve": _cmd_serve,
 }
 

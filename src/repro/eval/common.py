@@ -87,18 +87,40 @@ def trace_for(
     n: int = EVAL_N,
     max_log_q: float = EVAL_MAX_LOG_Q,
     ks_digits: int = 3,
+    compiled: bool = False,
 ) -> HeTrace:
-    """The app's trace under a scheme's bootstrap cadence (Sec. 5)."""
+    """The app's trace under a scheme's bootstrap cadence (Sec. 5).
+
+    With ``compiled=True`` the recorded trace is run through
+    :func:`repro.trace.compiler.compile_trace` first.  ``compiled`` is
+    part of the cache key (only when set, so existing disk records stay
+    addressable): a compiled artifact can never be served where the
+    recorded schedule was asked for, or vice versa.
+    """
     params = {
         "app": app, "bs": bs, "scheme": scheme, "word_bits": word_bits,
         "n": n, "max_log_q": max_log_q, "ks_digits": ks_digits,
     }
-    return runner.cached(
-        "trace", params,
-        compute=lambda: BENCHMARKS[app](
+    if compiled:
+        params["compiled"] = True
+
+    def _compute() -> HeTrace:
+        trace = BENCHMARKS[app](
             SCHEDULES[bs], n=n, max_log_q=max_log_q, scheme=scheme,
             word_bits=word_bits, ks_digits=ks_digits,
-        ),
+        )
+        if compiled:
+            from repro.trace.compiler import compile_trace
+
+            trace = compile_trace(
+                trace, scheme=scheme, word_bits=word_bits,
+                ks_digits=ks_digits, plan=False,
+            ).trace
+        return trace
+
+    return runner.cached(
+        "trace", params,
+        compute=_compute,
         encode=HeTrace.to_dict,
         decode=HeTrace.from_dict,
     )
@@ -113,15 +135,18 @@ def chain_for(
     ks_digits: int = 3,
     n: int = EVAL_N,
     max_log_q: float = EVAL_MAX_LOG_Q,
+    compiled: bool = False,
 ) -> ModulusChain:
     params = {
         "app": app, "bs": bs, "scheme": scheme, "word_bits": word_bits,
         "n": n, "max_log_q": max_log_q, "ks_digits": ks_digits,
     }
+    if compiled:
+        params["compiled"] = True
     return runner.cached(
         "chain", params,
         compute=lambda: _plan_chain(
-            app, bs, scheme, word_bits, ks_digits, n, max_log_q
+            app, bs, scheme, word_bits, ks_digits, n, max_log_q, compiled
         ),
         encode=chain_to_dict,
         decode=chain_from_dict,
@@ -130,9 +155,11 @@ def chain_for(
 
 def _plan_chain(
     app: str, bs: str, scheme: str, word_bits: int, ks_digits: int,
-    n: int, max_log_q: float,
+    n: int, max_log_q: float, compiled: bool = False,
 ) -> ModulusChain:
-    trace = trace_for(app, bs, scheme, word_bits, n, max_log_q, ks_digits)
+    trace = trace_for(
+        app, bs, scheme, word_bits, n, max_log_q, ks_digits, compiled
+    )
     if scheme == "bitpacker":
         return plan_bitpacker_chain(
             n=trace.n,
@@ -165,6 +192,7 @@ def simulate(
     ks_digits: int = 3,
     n: int = EVAL_N,
     max_log_q: float = EVAL_MAX_LOG_Q,
+    compiled: bool = False,
 ) -> SimResult:
     """Run one (workload, scheme, machine) point on the accelerator model."""
     params = {
@@ -172,11 +200,13 @@ def simulate(
         "register_file_mb": register_file_mb, "crb_shrink": crb_shrink,
         "ks_digits": ks_digits, "n": n, "max_log_q": max_log_q,
     }
+    if compiled:
+        params["compiled"] = True
     result = runner.cached(
         "simulate", params,
         compute=lambda: _simulate(
             app, bs, scheme, word_bits, register_file_mb, crb_shrink,
-            ks_digits, n, max_log_q,
+            ks_digits, n, max_log_q, compiled,
         ),
         encode=SimResult.to_dict,
         decode=SimResult.from_dict,
@@ -210,6 +240,7 @@ def _record_sim(result: SimResult) -> None:
 def _simulate(
     app: str, bs: str, scheme: str, word_bits: int, register_file_mb: float,
     crb_shrink: float, ks_digits: int, n: int, max_log_q: float,
+    compiled: bool = False,
 ) -> SimResult:
     config = craterlake().with_word_size(word_bits)
     if register_file_mb != 256.0:
@@ -217,8 +248,12 @@ def _simulate(
     if crb_shrink:
         config = config.with_crb_shrink(crb_shrink)
     sim = AcceleratorSim(config)
-    trace = trace_for(app, bs, scheme, word_bits, n, max_log_q, ks_digits)
-    chain = chain_for(app, bs, scheme, word_bits, ks_digits, n, max_log_q)
+    trace = trace_for(
+        app, bs, scheme, word_bits, n, max_log_q, ks_digits, compiled
+    )
+    chain = chain_for(
+        app, bs, scheme, word_bits, ks_digits, n, max_log_q, compiled
+    )
     _verify_schedule(trace)
     return sim.run(trace, chain)
 
@@ -230,27 +265,36 @@ def simulate_cpu(
     scheme: str,
     word_bits: int = 64,
     ks_digits: int = 3,
+    compiled: bool = False,
 ) -> CpuResult:
     """Run one workload point on the CPU cost model (Fig. 13)."""
     params = {
         "app": app, "bs": bs, "scheme": scheme, "word_bits": word_bits,
         "ks_digits": ks_digits,
     }
+    if compiled:
+        params["compiled"] = True
     return runner.cached(
         "simulate-cpu", params,
-        compute=lambda: _simulate_cpu(app, bs, scheme, word_bits, ks_digits),
+        compute=lambda: _simulate_cpu(
+            app, bs, scheme, word_bits, ks_digits, compiled
+        ),
         encode=CpuResult.to_dict,
         decode=CpuResult.from_dict,
     )
 
 
 def _simulate_cpu(
-    app: str, bs: str, scheme: str, word_bits: int, ks_digits: int
+    app: str, bs: str, scheme: str, word_bits: int, ks_digits: int,
+    compiled: bool = False,
 ) -> CpuResult:
-    trace = trace_for(app, bs, scheme, word_bits, ks_digits=ks_digits)
+    trace = trace_for(
+        app, bs, scheme, word_bits, ks_digits=ks_digits, compiled=compiled
+    )
     _verify_schedule(trace)
     return DEFAULT_CPU_MODEL.run(
-        trace, chain_for(app, bs, scheme, word_bits, ks_digits)
+        trace, chain_for(app, bs, scheme, word_bits, ks_digits,
+                         compiled=compiled)
     )
 
 

@@ -46,10 +46,10 @@ class Fig12Row:
 
 
 def run(word_bits: int = 28, ks_digits: int = 3, max_log_q: float = 1596.0,
-        jobs: int = 1) -> list[Fig12Row]:
+        jobs: int = 1, compiled: bool = False) -> list[Fig12Row]:
     calls = [
         dict(app=app, bs=bs, scheme=scheme, word_bits=word_bits,
-             ks_digits=ks_digits, max_log_q=max_log_q)
+             ks_digits=ks_digits, max_log_q=max_log_q, compiled=compiled)
         for app, bs in WORKLOAD_GRID
         for scheme in SCHEMES
     ]

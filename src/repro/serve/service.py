@@ -54,8 +54,6 @@ not the loop.
 from __future__ import annotations
 
 import asyncio
-import hashlib
-import json
 import threading
 import time
 from collections import OrderedDict
@@ -70,7 +68,7 @@ from repro.obs import core as _obs
 from repro.serve import batch as _batch
 from repro.serve import resilience as _res
 from repro.serve.keys import KeyMaterial, KeyParams, KeyRegistry
-from repro.trace.program import HeTrace
+from repro.trace.program import HeTrace, content_digest
 
 #: Default serve ring degree: big enough to exercise the batched
 #: kernels, small enough that a load test runs in seconds.
@@ -90,8 +88,25 @@ _GATE_INFLIGHT: dict[str, threading.Event] = {}
 
 
 def _trace_digest(trace: HeTrace) -> str:
-    blob = json.dumps(trace.to_dict(), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode()).hexdigest()
+    # Shared canonical content digest (sorted keys, schema marker
+    # stripped): stable under op-metadata dict ordering and serializer
+    # version churn, different the moment a compiler pass rewrites the
+    # trace — so a compiled schedule never inherits its source's verdict.
+    return content_digest(trace)
+
+
+def invalidate_admitted(digest: str) -> bool:
+    """Drop one digest's memoized admission verdict (if present).
+
+    Called on recompilation: the source trace's verdict must not stand
+    in for the rewritten schedule, which re-verifies under its own
+    digest.  Returns whether an entry was evicted.
+    """
+    with _GATE_LOCK:
+        present = digest in _GATE_MEMO
+        if present:
+            del _GATE_MEMO[digest]
+        return present
 
 
 def gate_memo_size() -> int:
@@ -153,6 +168,11 @@ class TenantSession:
     admitted: int = 0
     rejected: int = 0
     shed: int = 0
+    #: Content digest of the pre-compilation trace when the session was
+    #: registered with ``compiled=True`` (``None`` otherwise).
+    compiled_from: str | None = None
+    #: Chain levels the compiler removed for this session's schedule.
+    levels_saved: int = 0
     completed: int = 0
     failed: int = 0
     quarantined: int = 0
@@ -343,6 +363,7 @@ class BitPackerServe:
         n: int = DEFAULT_N,
         word_bits: int = DEFAULT_WORD_BITS,
         ks_digits: int = 3,
+        compiled: bool = False,
     ) -> TenantSession:
         """Create a session: verify the schedule, bind key material.
 
@@ -350,6 +371,12 @@ class BitPackerServe:
         workload (``app``/``bs``/``scheme``).  Raises
         :class:`~repro.errors.ScheduleViolationError` when the schedule
         fails the static gate — the request never reaches a queue.
+
+        ``compiled=True`` runs the schedule through
+        :func:`repro.trace.compiler.compile_trace` first: the session
+        serves the optimized trace (fewer levels, smaller keys), the
+        source digest's memoized admission verdict is invalidated, and
+        the compiled trace re-verifies under its own digest.
         """
         if tenant in self.sessions:
             raise ParameterError(f"tenant {tenant!r} is already registered")
@@ -372,6 +399,21 @@ class BitPackerServe:
                 SCHEDULES[bs], n=n, scheme=scheme, word_bits=word_bits,
                 ks_digits=ks_digits,
             )
+        compiled_from: str | None = None
+        levels_saved = 0
+        if compiled:
+            from repro.trace.compiler import compile_trace
+
+            compiled_from = content_digest(trace)
+            result = compile_trace(
+                trace, scheme=scheme, word_bits=word_bits,
+                ks_digits=ks_digits, plan=False,
+            )
+            invalidate_admitted(compiled_from)
+            trace = result.trace
+            levels_saved = result.levels_saved
+            if _obs.ACTIVE:
+                _obs.count("serve.sessions.compiled")
         verify_admitted_trace(trace)
         key = self.registry.get(
             KeyParams(n=n, word_bits=word_bits, levels=trace.max_level)
@@ -386,6 +428,8 @@ class BitPackerServe:
             key=key,
             shard=int(key.fingerprint, 16) % self.shards,
             executable=executable,
+            compiled_from=compiled_from,
+            levels_saved=levels_saved,
         )
         self.sessions[tenant] = session
         if _obs.ACTIVE:

@@ -10,10 +10,18 @@ prices every trace op through that chain's per-level residue counts.
 from __future__ import annotations
 
 import enum
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.errors import ParameterError
+
+#: Serialized-trace schema version.  Readers accept any version up to and
+#: including this one (older encodings omitted the field entirely, which
+#: decodes as version 1); a *newer* version is a clean
+#: :class:`~repro.errors.ParameterError`, never a traceback.
+TRACE_SCHEMA_VERSION = 1
 
 
 class OpKind(enum.Enum):
@@ -69,8 +77,8 @@ class TraceOp:
             kind=OpKind(data["kind"]),
             level=data["level"],
             count=data["count"],
-            dst_level=data["dst_level"],
-            scale_bits=data["scale_bits"],
+            dst_level=data.get("dst_level"),
+            scale_bits=data.get("scale_bits"),
         )
 
 
@@ -120,6 +128,7 @@ class HeTrace:
     def to_dict(self) -> dict:
         """JSON-ready form for the experiment runner's disk cache."""
         return {
+            "schema": TRACE_SCHEMA_VERSION,
             "name": self.name,
             "n": self.n,
             "base_bits": self.base_bits,
@@ -129,13 +138,45 @@ class HeTrace:
 
     @classmethod
     def from_dict(cls, data: dict) -> "HeTrace":
-        return cls(
-            name=data["name"],
-            n=data["n"],
-            base_bits=data["base_bits"],
-            level_scale_bits=tuple(data["level_scale_bits"]),
-            ops=[TraceOp.from_dict(op) for op in data["ops"]],
-        )
+        if not isinstance(data, dict):
+            raise ParameterError("trace must decode to a JSON object")
+        schema = data.get("schema", 1)
+        if not isinstance(schema, int) or schema < 1:
+            raise ParameterError(f"trace schema version {schema!r} is not valid")
+        if schema > TRACE_SCHEMA_VERSION:
+            raise ParameterError(
+                f"trace schema version {schema} is newer than this reader "
+                f"(supports <= {TRACE_SCHEMA_VERSION}); upgrade bitpacker-repro"
+            )
+        try:
+            return cls(
+                name=data["name"],
+                n=data["n"],
+                base_bits=data["base_bits"],
+                level_scale_bits=tuple(data["level_scale_bits"]),
+                ops=[TraceOp.from_dict(op) for op in data["ops"]],
+            )
+        except (KeyError, TypeError) as exc:
+            raise ParameterError(f"malformed trace encoding: {exc}") from exc
+
+    def content_digest(self) -> str:
+        """Canonical content hash (see :func:`content_digest`)."""
+        return content_digest(self)
+
+
+def content_digest(trace: HeTrace) -> str:
+    """sha256 over a canonical JSON encoding of ``trace``.
+
+    The canonical form sorts keys and drops the ``schema`` marker, so the
+    digest is stable under op-metadata dict ordering and serialization
+    version churn, yet changes whenever any op, scale target, or chain
+    constraint changes — exactly the identity the serve admission memo
+    and eval cache keys need.
+    """
+    payload = trace.to_dict()
+    payload.pop("schema", None)
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode()).hexdigest()
 
 
 class TraceBuilder:
